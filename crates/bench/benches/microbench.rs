@@ -1,0 +1,89 @@
+//! Criterion microbenchmarks over the reproduction's core building
+//! blocks: SQL parsing, hash joins, aggregation, native inference, and the
+//! DL2SQL conv step. These complement the per-table/figure harness
+//! binaries in `src/bin/` (run those with `cargo run -p bench --bin ...`).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use minidb::Database;
+
+fn bench_parser(c: &mut Criterion) {
+    let sql = "SELECT patternID, count(nUDF_detect(V.keyframe) = TRUE) / sum(meter) AS rate \
+               FROM fabric F, video V \
+               WHERE F.printdate >= '2021-01-01' and F.printdate < '2021-02-01' \
+               and F.transID = V.transID GROUP BY patternID ORDER BY patternID";
+    c.bench_function("parse_collaborative_query", |b| {
+        b.iter(|| minidb::sql::parser::parse_statement(std::hint::black_box(sql)).unwrap())
+    });
+}
+
+fn join_db(rows: i64) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE a (k Int64, v Float64)").unwrap();
+    db.execute("CREATE TABLE b (k Int64, w Float64)").unwrap();
+    let av: Vec<String> = (0..rows).map(|i| format!("({}, {}.5)", i % 997, i)).collect();
+    let bv: Vec<String> = (0..rows / 4).map(|i| format!("({}, {}.25)", i % 997, i)).collect();
+    db.execute(&format!("INSERT INTO a VALUES {}", av.join(","))).unwrap();
+    db.execute(&format!("INSERT INTO b VALUES {}", bv.join(","))).unwrap();
+    db
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let db = join_db(8_000);
+    c.bench_function("hash_join_8k_x_2k", |b| {
+        b.iter(|| {
+            db.execute("SELECT count(*) FROM a, b WHERE a.k = b.k")
+                .unwrap()
+                .table()
+                .column(0)
+                .i64_at(0)
+        })
+    });
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let db = join_db(8_000);
+    c.bench_function("group_by_8k_rows_997_groups", |b| {
+        b.iter(|| db.execute("SELECT k, SUM(v), AVG(v) FROM a GROUP BY k").unwrap().rows_affected())
+    });
+}
+
+fn bench_native_inference(c: &mut Criterion) {
+    let model = neuro::zoo::student(vec![1, 12, 12], 6, 7);
+    let input = neuro::Tensor::full(vec![1, 12, 12], 0.5);
+    c.bench_function("native_student_inference", |b| {
+        b.iter(|| model.predict(std::hint::black_box(&input)).unwrap())
+    });
+}
+
+fn bench_sql_inference(c: &mut Criterion) {
+    let db = Arc::new(Database::new());
+    let registry = dl2sql::NeuralRegistry::shared();
+    let model = neuro::zoo::student(vec![1, 12, 12], 6, 7);
+    let compiled = Arc::new(dl2sql::compile_model(&db, &registry, &model).unwrap());
+    let runner = dl2sql::Runner::new(Arc::clone(&db), registry, compiled).unwrap();
+    let input = neuro::Tensor::full(vec![1, 12, 12], 0.5);
+    c.bench_function("dl2sql_student_inference", |b| {
+        b.iter(|| runner.infer(std::hint::black_box(&input)).unwrap().predicted_class)
+    });
+}
+
+fn bench_model_compilation(c: &mut Criterion) {
+    let model = neuro::zoo::student(vec![1, 12, 12], 6, 7);
+    c.bench_function("compile_student_to_sql", |b| {
+        b.iter_batched(
+            || (Arc::new(Database::new()), dl2sql::NeuralRegistry::shared()),
+            |(db, registry)| dl2sql::compile_model(&db, &registry, &model).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parser, bench_hash_join, bench_group_by, bench_native_inference,
+              bench_sql_inference, bench_model_compilation
+}
+criterion_main!(benches);

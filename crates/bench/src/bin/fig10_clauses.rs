@@ -1,0 +1,63 @@
+//! Paper Fig. 10: share of running time per relational clause during
+//! DL2SQL inference (Join, GroupBy, Filter, Project, ...).
+//!
+//! Expected shape (paper): "the relatively expensive operations are Join
+//! and GroupBy".
+
+use std::sync::Arc;
+
+use dl2sql::{compile_model, NeuralRegistry, Runner};
+use minidb::{Database, OperatorKind};
+use workload::dataset::keyframe;
+
+use bench::{fmt_duration, Report};
+
+const REPS: usize = 20;
+
+fn main() {
+    let db = Arc::new(Database::new());
+    let registry = NeuralRegistry::shared();
+    let model = neuro::zoo::student(vec![1, 12, 12], 6, 7);
+    let compiled = Arc::new(compile_model(&db, &registry, &model).expect("student compiles"));
+    let runner = Runner::new(Arc::clone(&db), Arc::clone(&registry), compiled).expect("runner");
+
+    db.profiler().reset();
+    for rep in 0..REPS {
+        let input = keyframe(&[1, 12, 12], 5, rep as u64);
+        runner.infer(&input).expect("inference runs");
+    }
+    let snapshot = db.profiler().snapshot();
+    let total: f64 = snapshot.iter().map(|(_, s)| s.total.as_secs_f64()).sum();
+
+    let mut report = Report::new(
+        "Fig 10: time per relational clause during DL2SQL inference",
+        &["Clause", "Time(ms)", "Share(%)", "Invocations", "RowsOut"],
+    );
+    let mut join_groupby = 0.0;
+    for (kind, stats) in &snapshot {
+        let t = stats.total.as_secs_f64();
+        report.row(&[
+            kind.label().to_string(),
+            fmt_duration(stats.total),
+            format!("{:.1}", 100.0 * t / total),
+            stats.invocations.to_string(),
+            stats.rows_out.to_string(),
+        ]);
+        report.json(serde_json::json!({
+            "experiment": "fig10",
+            "clause": kind.label(),
+            "ms": t * 1e3,
+            "share": t / total,
+        }));
+        if matches!(kind, OperatorKind::Join | OperatorKind::GroupBy) {
+            join_groupby += t;
+        }
+    }
+    report.print();
+    println!(
+        "Join+GroupBy share: {:.1}% — paper: \"the relatively expensive operations are \
+         Join and GroupBy\": {}",
+        100.0 * join_groupby / total,
+        if join_groupby / total > 0.4 { "matches" } else { "MISMATCH" }
+    );
+}

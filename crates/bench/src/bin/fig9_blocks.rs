@@ -1,0 +1,69 @@
+//! Paper Fig. 9: running time of each CNN block of the student model
+//! under DL2SQL (Conv1, Reshape1, BN, ReLU, Pool, FC, Classification).
+//!
+//! Expected shape (paper): "the main bottleneck is the convolution
+//! operators" — the ConvN bars dominate, Reshape (the mapping join) comes
+//! next, the element-wise operators are cheap.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dl2sql::{compile_model, NeuralRegistry, Runner};
+use minidb::Database;
+use workload::dataset::keyframe;
+
+use bench::{fmt_duration, Report};
+
+const REPS: usize = 20;
+
+fn main() {
+    let db = Arc::new(Database::new());
+    let registry = NeuralRegistry::shared();
+    let model = neuro::zoo::student(vec![1, 12, 12], 6, 7);
+    let compiled = Arc::new(compile_model(&db, &registry, &model).expect("student compiles"));
+    let runner = Runner::new(Arc::clone(&db), Arc::clone(&registry), Arc::clone(&compiled))
+        .expect("runner builds");
+
+    let mut per_label: BTreeMap<String, Duration> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for rep in 0..REPS {
+        let input = keyframe(&[1, 12, 12], 42, rep as u64);
+        let out = runner.infer(&input).expect("inference runs");
+        for t in &out.step_timings {
+            if !per_label.contains_key(&t.label) {
+                order.push(t.label.clone());
+            }
+            *per_label.entry(t.label.clone()).or_default() += t.duration;
+        }
+    }
+
+    let mut report = Report::new(
+        "Fig 9: per-block running time of the student model (avg ms over 20 inferences)",
+        &["Block", "Time(ms)"],
+    );
+    let mut conv_total = Duration::ZERO;
+    let mut other_total = Duration::ZERO;
+    for label in &order {
+        let avg = per_label[label] / REPS as u32;
+        report.row(&[label.clone(), fmt_duration(avg)]);
+        report.json(serde_json::json!({
+            "experiment": "fig9",
+            "block": label,
+            "ms": avg.as_secs_f64() * 1e3,
+        }));
+        if label.starts_with("Conv") || label.starts_with("FC") {
+            conv_total += avg;
+        } else {
+            other_total += avg;
+        }
+    }
+    report.print();
+    println!(
+        "convolution-family time {:.3} ms vs everything else {:.3} ms — paper: \
+         \"the main bottleneck is the convolution operators\": {}",
+        conv_total.as_secs_f64() * 1e3,
+        other_total.as_secs_f64() * 1e3,
+        if conv_total > other_total { "matches" } else { "MISMATCH" }
+    );
+}

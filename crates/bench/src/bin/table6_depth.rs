@@ -1,0 +1,113 @@
+//! Paper Table VI: inference and loading cost vs. model depth
+//! (ResNet5 … ResNet40) for the three approaches, at 0.1 % selectivity.
+//! Relational cost is omitted, as in the paper ("two or three orders of
+//! magnitude smaller ... for a deeper neural model").
+//!
+//! Expected shape (paper): DL2SQL-OP has the best *inference* at every
+//! depth and the best *total* for shallow models, but its loading cost
+//! (model → relational tables) grows fastest, so DB-PyTorch overtakes it
+//! on total cost for deep models — the crossover is the finding.
+
+use std::sync::Arc;
+
+use collab::{QueryType, StrategyKind};
+use workload::models::{resnet_spec, RepoConfig};
+use workload::queries::template;
+
+use bench::{env, Report};
+
+const DEPTHS: [usize; 8] = [5, 10, 15, 20, 25, 30, 35, 40];
+/// Paper Table VI: parameters and DL2SQL-OP inference seconds per depth.
+const PAPER_PARAMS: [u64; 8] =
+    [828_418, 3_781_890, 6_734_850, 9_687_810, 12_640_770, 15_593_730, 18_546_690, 20_909_570];
+
+fn main() {
+    // Smaller dataset: deep ResNets in SQL are heavy per inference.
+    let env = env(600, vec![1, 12, 12]);
+    let repo_cfg = RepoConfig { keyframe_shape: vec![1, 12, 12], histogram_samples: 16, ..Default::default() };
+
+    let mut report = Report::new(
+        "Table VI: cost vs model depth, selectivity 0.1% (host ms)",
+        &[
+            "Depth",
+            "Params",
+            "paper params",
+            "OP-Inf",
+            "OP-Load",
+            "OP-Total",
+            "UDF-Inf",
+            "UDF-Load",
+            "PyT-Inf",
+            "PyT-Load",
+        ],
+    );
+
+    let mut op_totals = Vec::new();
+    let mut pyt_totals = Vec::new();
+    for (i, depth) in DEPTHS.iter().enumerate() {
+        let spec = resnet_spec(*depth, &repo_cfg);
+        let nudf = spec.name.clone();
+        env.engine.repo().register(collab::NudfSpec::new(nudf.clone(), Arc::clone(&spec.model), spec.output.clone(), spec.class_probs.clone()));
+        // The paper's 0.1% of 10M fabric rows is 10k rows; at laptop scale
+        // that quantizes to zero, so the sweep uses 5% of the 60-row
+        // fabric table (~3 rows, ~30 keyframes) instead.
+        let mut q = template(QueryType::Type3, 0.05, "");
+        q.sql = q.sql.replace("nUDF_detect", &nudf);
+
+        let mut row = vec![
+            depth.to_string(),
+            spec.model.param_count().to_string(),
+            PAPER_PARAMS[i].to_string(),
+        ];
+        let mut json = serde_json::json!({
+            "experiment": "table6",
+            "depth": depth,
+            "params": spec.model.param_count(),
+        });
+        for (kind, tag) in [
+            (StrategyKind::TightOptimized, "op"),
+            (StrategyKind::LooseUdf, "udf"),
+            (StrategyKind::Independent, "pytorch"),
+        ] {
+            let out = env.engine.execute(&q.sql, kind).expect("strategy runs");
+            let inf = out.breakdown.inference.as_secs_f64() * 1e3;
+            let load = out.breakdown.loading.as_secs_f64() * 1e3;
+            row.push(format!("{inf:.2}"));
+            row.push(format!("{load:.2}"));
+            if kind == StrategyKind::TightOptimized {
+                row.push(format!("{:.2}", inf + load));
+            }
+            json[format!("{tag}_inference_ms")] = serde_json::json!(inf);
+            json[format!("{tag}_loading_ms")] = serde_json::json!(load);
+            match kind {
+                StrategyKind::TightOptimized => op_totals.push(inf + load),
+                StrategyKind::Independent => pyt_totals.push(inf + load),
+                _ => {}
+            }
+        }
+        report.row(&row);
+        report.json(json);
+    }
+    report.print();
+
+    // Shape checks.
+    let op_growth = op_totals.last().unwrap() / op_totals.first().unwrap();
+    println!("DL2SQL-OP total grows {op_growth:.1}x from depth 5 to 40 (paper: loading grows with depth)");
+    let shallow_winner = if op_totals[0] < pyt_totals[0] { "DL2SQL-OP" } else { "DB-PyTorch" };
+    let deep_winner = if *op_totals.last().unwrap() < *pyt_totals.last().unwrap() {
+        "DL2SQL-OP"
+    } else {
+        "DB-PyTorch"
+    };
+    println!(
+        "shallow (d=5) winner: {shallow_winner}; deep (d=40) winner: {deep_winner} \
+         — paper: DL2SQL-OP wins shallow, DB-PyTorch overtakes for deeper models."
+    );
+    println!(
+        "Reproduced: parameter growth is linear in depth, DL2SQL-OP loading grows \
+         steeply with depth, and DB-PyTorch wins for deep models. NOT reproduced: the \
+         shallow-depth win for DL2SQL-OP — it depends on ClickHouse's vectorized \
+         executor beating LibTorch per inference on the ARM CPU, which this \
+         tuple-at-a-time engine cannot replicate (see EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,8 @@
+//! Shared helpers for the benchmark harness binaries (one binary per
+//! table/figure of the paper's evaluation; see `src/bin/`).
+
+pub mod report;
+pub mod setup;
+
+pub use report::{fmt_duration, Report};
+pub use setup::{default_env, env, Env};

@@ -1,0 +1,86 @@
+//! Human-readable + machine-readable experiment reports.
+//!
+//! Every harness binary prints (a) an aligned text table mirroring the
+//! paper's table/figure, including the paper's reference numbers where
+//! applicable, and (b) one JSON line per data point (for EXPERIMENTS.md
+//! bookkeeping and plotting).
+
+use std::time::Duration;
+
+/// Formats a duration as milliseconds with three decimals.
+pub fn fmt_duration(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// A simple experiment report builder.
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    json_lines: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report with a title ("Table V", "Fig 9", ...).
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            json_lines: Vec::new(),
+        }
+    }
+
+    /// Adds a display row.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Adds a machine-readable record.
+    pub fn json(&mut self, value: serde_json::Value) {
+        self.json_lines.push(value.to_string());
+    }
+
+    /// Renders and prints the report.
+    pub fn print(&self) {
+        println!("== {} ==", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.headers));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        for j in &self.json_lines {
+            println!("JSON {j}");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let mut r = Report::new("Test", &["a", "long_header"]);
+        r.row(&["1".into(), "2".into()]);
+        r.json(serde_json::json!({"a": 1}));
+        r.print(); // should not panic
+        assert_eq!(fmt_duration(Duration::from_millis(1)), "1.000");
+    }
+}

@@ -1,0 +1,129 @@
+//! The engine: one database + one model repository, three strategies.
+
+use std::sync::Arc;
+
+use dl2sql::NeuralRegistry;
+use minidb::Database;
+
+use crate::error::Result;
+use crate::independent::{DlServer, Independent};
+use crate::loose::LooseUdf;
+use crate::metrics::{InferenceMeter, StrategyOutcome};
+use crate::nudf::ModelRepo;
+use crate::tight::Tight;
+use crate::Strategy;
+
+/// Which strategy to run a collaborative query under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Independent processing (DB-PyTorch).
+    Independent,
+    /// Loose integration (DB-UDF).
+    LooseUdf,
+    /// Tight integration without the optimizer hints (DL2SQL).
+    Tight,
+    /// Tight integration with the customized cost model + hints
+    /// (DL2SQL-OP).
+    TightOptimized,
+}
+
+impl StrategyKind {
+    /// All four configurations of paper Fig. 8, in its bar order.
+    pub fn all() -> [StrategyKind; 4] {
+        [
+            StrategyKind::Tight,
+            StrategyKind::TightOptimized,
+            StrategyKind::LooseUdf,
+            StrategyKind::Independent,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategyKind::Independent => "DB-PyTorch",
+            StrategyKind::LooseUdf => "DB-UDF",
+            StrategyKind::Tight => "DL2SQL",
+            StrategyKind::TightOptimized => "DL2SQL-OP",
+        }
+    }
+}
+
+/// Shared execution environment for collaborative queries.
+///
+/// Strategy executions are sequential: each one (re)binds the nUDF names
+/// in the shared database to its own implementation before running.
+pub struct CollabEngine {
+    db: Arc<Database>,
+    repo: Arc<ModelRepo>,
+    registry: Arc<NeuralRegistry>,
+    meter: Arc<InferenceMeter>,
+    server: Arc<DlServer>,
+}
+
+impl CollabEngine {
+    /// Builds an engine over an already-populated database and repository
+    /// (spawns the DL-serving thread used by the independent strategy).
+    pub fn new(db: Arc<Database>, repo: Arc<ModelRepo>) -> Self {
+        let meter = InferenceMeter::shared();
+        let server = Arc::new(DlServer::start(Arc::clone(&repo), Arc::clone(&meter)));
+        CollabEngine {
+            db,
+            repo,
+            registry: NeuralRegistry::shared(),
+            meter,
+            server,
+        }
+    }
+
+    /// The shared database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The model repository.
+    pub fn repo(&self) -> &Arc<ModelRepo> {
+        &self.repo
+    }
+
+    /// The DL2SQL table registry.
+    pub fn registry(&self) -> &Arc<NeuralRegistry> {
+        &self.registry
+    }
+
+    /// Instantiates a strategy.
+    pub fn strategy(&self, kind: StrategyKind) -> Box<dyn Strategy + '_> {
+        match kind {
+            StrategyKind::Independent => Box::new(Independent::new(
+                Arc::clone(&self.db),
+                Arc::clone(&self.repo),
+                Arc::clone(&self.server),
+                Arc::clone(&self.meter),
+            )),
+            StrategyKind::LooseUdf => Box::new(LooseUdf::new(
+                Arc::clone(&self.db),
+                Arc::clone(&self.repo),
+                Arc::clone(&self.meter),
+            )),
+            StrategyKind::Tight => Box::new(Tight::new(
+                Arc::clone(&self.db),
+                Arc::clone(&self.repo),
+                Arc::clone(&self.registry),
+                Arc::clone(&self.meter),
+                false,
+            )),
+            StrategyKind::TightOptimized => Box::new(Tight::new(
+                Arc::clone(&self.db),
+                Arc::clone(&self.repo),
+                Arc::clone(&self.registry),
+                Arc::clone(&self.meter),
+                true,
+            )),
+        }
+    }
+
+    /// Executes one collaborative query under one strategy.
+    pub fn execute(&self, sql: &str, kind: StrategyKind) -> Result<StrategyOutcome> {
+        self.strategy(kind).execute(sql)
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the collaborative-query layer.
+
+use std::fmt;
+
+/// Errors from strategy setup or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Database failure.
+    Db(minidb::Error),
+    /// Tensor-engine failure.
+    Neuro(neuro::Error),
+    /// DL2SQL compilation/execution failure.
+    Dl2Sql(dl2sql::Error),
+    /// The query references an nUDF that no model is registered for.
+    UnknownNudf(String),
+    /// The collaborative query has a shape the coordinator cannot split
+    /// (independent strategy only).
+    Coordinator(String),
+    /// The in-process DL-serving channel failed.
+    Channel(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Db(e) => write!(f, "database error: {e}"),
+            Error::Neuro(e) => write!(f, "tensor engine error: {e}"),
+            Error::Dl2Sql(e) => write!(f, "DL2SQL error: {e}"),
+            Error::UnknownNudf(name) => write!(f, "no model registered for nUDF '{name}'"),
+            Error::Coordinator(msg) => write!(f, "coordinator error: {msg}"),
+            Error::Channel(msg) => write!(f, "DL-serving channel error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<minidb::Error> for Error {
+    fn from(e: minidb::Error) -> Self {
+        Error::Db(e)
+    }
+}
+
+impl From<neuro::Error> for Error {
+    fn from(e: neuro::Error) -> Self {
+        Error::Neuro(e)
+    }
+}
+
+impl From<dl2sql::Error> for Error {
+    fn from(e: dl2sql::Error) -> Self {
+        Error::Dl2Sql(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,47 @@
+//! `collab` — collaborative query processing.
+//!
+//! A *collaborative query* combines relational predicates (`Q_db`) with
+//! neural inference calls (`Q_learning`, written as `nUDF_*` functions).
+//! This crate implements the paper's three processing strategies behind
+//! one [`Strategy`] interface, over the same database and model
+//! repository, so they are directly comparable:
+//!
+//! * [`independent`] — **DB-PyTorch**: an application layer splits the
+//!   query, ships intermediate results to a DL-serving component over a
+//!   real byte channel (serialization and cross-system I/O included), and
+//!   recombines,
+//! * [`loose`] — **DB-UDF**: models are compiled to binaries and linked
+//!   into the database as scalar UDFs; the query runs entirely in the
+//!   database but the UDF is a black box to the optimizer,
+//! * [`tight`] — **DL2SQL / DL2SQL-OP**: inference itself is SQL over
+//!   relational tables; with `optimized` set, the customized cost model
+//!   and the hint rules of paper Sec. IV-B are active.
+//!
+//! [`query`] classifies collaborative queries into the paper's Types 1–4
+//! (Table I); [`metrics`] carries the loading/inference/relational cost
+//! breakdown every experiment reports.
+
+pub mod engine;
+pub mod error;
+pub mod independent;
+pub mod loose;
+pub mod metrics;
+pub mod nudf;
+pub mod query;
+pub mod tight;
+
+pub use engine::{CollabEngine, StrategyKind};
+pub use error::{Error, Result};
+pub use metrics::{CostBreakdown, StrategyOutcome};
+pub use nudf::{blob_to_tensor, tensor_to_blob, ConditionalVariant, ModelRepo, NudfOutput, NudfSpec};
+pub use query::{classify_query, classify_sql, QueryType};
+
+/// The strategy interface all three implementations share.
+pub trait Strategy {
+    /// Display name ("DB-PyTorch", "DB-UDF", "DL2SQL", "DL2SQL-OP").
+    fn name(&self) -> &'static str;
+
+    /// Executes a collaborative query, returning the result table and the
+    /// cost breakdown.
+    fn execute(&self, sql: &str) -> Result<StrategyOutcome>;
+}

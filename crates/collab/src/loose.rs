@@ -1,0 +1,157 @@
+//! The **loose integration** strategy (paper "DB-UDF").
+//!
+//! The trained model is compiled into a binary artifact
+//! ([`neuro::serialize::compile_udf_binary`], the TorchScript→kernel
+//! pipeline stand-in), loaded back, and registered as a built-in scalar
+//! UDF. The whole collaborative query then runs inside the database — no
+//! cross-system I/O — but the UDF is a *black box*: it carries no
+//! selectivity or cost metadata, so the optimizer can neither reorder it
+//! intelligently nor estimate it (paper Table III).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use minidb::sql::ast::Statement;
+use minidb::sql::parser::parse_statement;
+use minidb::{Database, ScalarUdf};
+
+use crate::error::{Error, Result};
+use crate::metrics::{CostBreakdown, InferenceMeter, StrategyOutcome};
+use crate::nudf::ModelRepo;
+use crate::query::nudf_calls_in_query;
+use crate::Strategy;
+
+/// The DB-UDF strategy.
+pub struct LooseUdf {
+    db: Arc<Database>,
+    repo: Arc<ModelRepo>,
+    meter: Arc<InferenceMeter>,
+    batched: bool,
+}
+
+impl LooseUdf {
+    /// Builds the strategy over the shared database and repository
+    /// (row-at-a-time UDFs, like a stock ClickHouse scalar UDF).
+    pub fn new(db: Arc<Database>, repo: Arc<ModelRepo>, meter: Arc<InferenceMeter>) -> Self {
+        LooseUdf { db, repo, meter, batched: false }
+    }
+
+    /// A variant registering *vectorized* UDFs: the whole keyframe column
+    /// is fed to the model in one call ("nUDF is performed in a batch
+    /// manner"), amortizing per-call overhead and the host↔device round
+    /// trip. Used by the batched-UDF ablation harness.
+    pub fn new_batched(db: Arc<Database>, repo: Arc<ModelRepo>, meter: Arc<InferenceMeter>) -> Self {
+        LooseUdf { db, repo, meter, batched: true }
+    }
+}
+
+impl Strategy for LooseUdf {
+    fn name(&self) -> &'static str {
+        "DB-UDF"
+    }
+
+    fn execute(&self, sql: &str) -> Result<StrategyOutcome> {
+        self.meter.reset();
+        let Statement::Query(q) = parse_statement(sql)? else {
+            return Err(Error::Coordinator("collaborative queries are SELECT statements".into()));
+        };
+        let calls = nudf_calls_in_query(&q, &self.repo);
+
+        // ---- loading: compile → binary → load → register ---------------
+        let mut loading = Duration::ZERO;
+        for call in &calls {
+            let minidb::sql::ast::Expr::Function { name, .. } = call else { continue };
+            let spec = self.repo.require(name)?;
+            let t0 = Instant::now();
+            // "The model compilation component is responsible for compiling
+            // a DL model to binary files that can be directly used by a
+            // database kernel." Conditional nUDFs compile every variant.
+            let compile = |m: &neuro::Model| -> Result<Arc<neuro::Model>> {
+                let binary = neuro::serialize::compile_udf_binary(m);
+                // Linking the binary moves the weights onto the inference
+                // device once per query.
+                self.meter.clock.charge_transfer(binary.len() as u64);
+                Ok(Arc::new(neuro::serialize::load_udf_binary(&binary)?))
+            };
+            // Rebuild the spec around the compiled binaries, so model
+            // selection behaves identically to the repository's.
+            let mut compiled = crate::nudf::NudfSpec::new(
+                spec.name.clone(),
+                compile(&spec.model)?,
+                spec.output.clone(),
+                spec.class_probs.clone(),
+            );
+            for v in &spec.variants {
+                compiled.variants.push(crate::nudf::ConditionalVariant {
+                    min_condition: v.min_condition,
+                    model: compile(&v.model)?,
+                });
+            }
+            let compiled = Arc::new(compiled);
+
+            let meter = Arc::clone(&self.meter);
+            let row_spec = Arc::clone(&compiled);
+            let mut udf = ScalarUdf::new(
+                &spec.name,
+                spec.arg_types(),
+                spec.output.data_type(),
+                move |args| {
+                    let condition =
+                        args.get(1).map(|v| v.as_f64()).transpose()?;
+                    // Row-at-a-time UDF inference: every call is a
+                    // synchronous round trip to the inference device.
+                    meter.clock.charge_round_trip();
+                    let t = Instant::now();
+                    let out = row_spec
+                        .invoke_with_condition(&args[0], condition, Some(&meter.clock))
+                        .map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                    meter.add(t.elapsed());
+                    Ok(out)
+                },
+            );
+            if self.batched {
+                let meter = Arc::clone(&self.meter);
+                let batch_spec = Arc::clone(&compiled);
+                let output = spec.output.clone();
+                udf = udf.with_batch(move |cols| {
+                    let col = &cols[0];
+                    // One round trip covers the whole batch.
+                    meter.clock.charge_round_trip();
+                    let t0 = Instant::now();
+                    let mut out = minidb::Column::empty(output.data_type());
+                    for row in 0..col.len() {
+                        let condition = cols.get(1).map(|c| c.value(row).as_f64()).transpose()?;
+                        let v = batch_spec
+                            .invoke_with_condition(&col.value(row), condition, Some(&meter.clock))
+                            .map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                        out.push(v)?;
+                    }
+                    meter.add(t0.elapsed());
+                    Ok(out)
+                });
+            }
+            self.db.register_udf(udf);
+            loading += t0.elapsed();
+        }
+
+        // The stock optimizer: no UDF hints, no customized cost model.
+        self.db.set_cost_model(Arc::new(minidb::DefaultCostModel::default()));
+        self.db.set_optimizer_config(minidb::optimizer::OptimizerConfig::default());
+
+        // ---- run entirely inside the database ---------------------------
+        let t_run = Instant::now();
+        let result = self.db.execute(sql)?;
+        let total_run = t_run.elapsed();
+        let inference = self.meter.total();
+
+        Ok(StrategyOutcome {
+            table: result.into_table(),
+            breakdown: CostBreakdown {
+                loading,
+                inference,
+                relational: total_run.saturating_sub(inference),
+            },
+            sim: self.meter.summary(),
+        })
+    }
+}

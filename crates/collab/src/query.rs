@@ -1,0 +1,229 @@
+//! Collaborative-query analysis: finding nUDF calls and classifying
+//! queries into the paper's four types (Table I).
+
+use minidb::sql::ast::{BinOp, Expr, Query, SelectItem, Statement};
+use minidb::sql::parser::parse_statement;
+
+use crate::error::{Error, Result};
+use crate::nudf::ModelRepo;
+
+/// The four collaborative-query types of paper Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QueryType {
+    /// `Q_db` and `Q_learning` are independent: the nUDF filters one
+    /// table, the relational predicates another, with no join tying the
+    /// nUDF's input to the relational side.
+    Type1,
+    /// `Q_db` depends on `Q_learning`: nUDF output feeds an aggregate or
+    /// projection.
+    Type2,
+    /// `Q_learning` depends on `Q_db`: relational predicates (joined to
+    /// the nUDF's table) gate which rows reach inference.
+    Type3,
+    /// Mutual dependence: the nUDF result is compared against another
+    /// column (e.g. `F.patternID != nUDF_recog(V.keyframe)`).
+    Type4,
+}
+
+impl QueryType {
+    /// Paper Table I's difficulty column.
+    pub fn difficulty(&self) -> &'static str {
+        match self {
+            QueryType::Type1 => "Easy",
+            QueryType::Type2 | QueryType::Type3 => "Medium",
+            QueryType::Type4 => "Hard",
+        }
+    }
+}
+
+/// Whether an expression is (or contains) an nUDF call.
+pub fn contains_nudf(expr: &Expr, repo: &ModelRepo) -> bool {
+    expr.any(&|e| matches!(e, Expr::Function { name, .. } if repo.is_nudf(name)))
+}
+
+/// All distinct nUDF call expressions in a query (projections, WHERE,
+/// HAVING, ON).
+pub fn nudf_calls_in_query(q: &Query, repo: &ModelRepo) -> Vec<Expr> {
+    let mut out: Vec<Expr> = Vec::new();
+    let mut visit = |expr: &Expr| {
+        expr.visit(&mut |e| {
+            if let Expr::Function { name, .. } = e {
+                if repo.is_nudf(name) && !out.contains(e) {
+                    out.push(e.clone());
+                }
+            }
+        });
+    };
+    for item in &q.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            visit(expr);
+        }
+    }
+    if let Some(p) = &q.predicate {
+        visit(p);
+    }
+    if let Some(h) = &q.having {
+        visit(h);
+    }
+    for f in &q.from {
+        for j in &f.joins {
+            visit(&j.on);
+        }
+    }
+    out
+}
+
+/// All WHERE/ON conjuncts of a query.
+fn all_conjuncts(q: &Query) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Some(p) = &q.predicate {
+        out.extend(p.conjuncts().into_iter().cloned());
+    }
+    for f in &q.from {
+        for j in &f.joins {
+            out.extend(j.on.conjuncts().into_iter().cloned());
+        }
+    }
+    out
+}
+
+fn is_column_to_column_eq(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Binary { left, op: BinOp::Eq, right }
+            if matches!(**left, Expr::Column { .. }) && matches!(**right, Expr::Column { .. })
+    )
+}
+
+/// Parses and classifies a collaborative query (must be a SELECT).
+pub fn classify_sql(sql: &str, repo: &ModelRepo) -> Result<QueryType> {
+    let Statement::Query(q) = parse_statement(sql)? else {
+        return Err(Error::Coordinator("collaborative queries are SELECT statements".into()));
+    };
+    Ok(classify_query(&q, repo))
+}
+
+/// Classifies a parsed query into its type. Precedence follows the
+/// dependency strength: Type 4 (mutual) > Type 2 (`Q_db` ← `Q_learning`)
+/// > Type 3 (`Q_learning` ← `Q_db`) > Type 1.
+pub fn classify_query(q: &Query, repo: &ModelRepo) -> QueryType {
+    let conjuncts = all_conjuncts(q);
+
+    // Type 4: an nUDF compared against something containing a column.
+    for c in &conjuncts {
+        if let Expr::Binary { left, op, right } = c {
+            let comparison = matches!(
+                op,
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+            );
+            if comparison {
+                let l_udf = contains_nudf(left, repo);
+                let r_udf = contains_nudf(right, repo);
+                let l_col = left.any(&|e| matches!(e, Expr::Column { .. }) && !contains_nudf(e, repo));
+                let r_col = right.any(&|e| {
+                    matches!(e, Expr::Column { .. })
+                });
+                // A column on the opposite side of the nUDF (not merely the
+                // nUDF's own argument) ties the two subsystems together.
+                if (l_udf && r_col && !r_udf) || (r_udf && l_col && !l_udf) {
+                    return QueryType::Type4;
+                }
+            }
+        }
+    }
+
+    // Type 2: nUDF inside the select list (typically inside an aggregate).
+    let in_projection = q.projections.iter().any(|item| {
+        matches!(item, SelectItem::Expr { expr, .. } if contains_nudf(expr, repo))
+    }) || q.having.as_ref().is_some_and(|h| contains_nudf(h, repo));
+    if in_projection {
+        return QueryType::Type2;
+    }
+
+    // Type 3 vs Type 1: is the nUDF's input gated by relational
+    // predicates through a join?
+    let has_nudf_filter = conjuncts.iter().any(|c| contains_nudf(c, repo));
+    let has_join = conjuncts.iter().any(is_column_to_column_eq);
+    let has_relational_filter = conjuncts
+        .iter()
+        .any(|c| !contains_nudf(c, repo) && !is_column_to_column_eq(c));
+    if has_nudf_filter && has_join && has_relational_filter {
+        return QueryType::Type3;
+    }
+    QueryType::Type1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nudf::{NudfOutput, NudfSpec};
+    use std::sync::Arc;
+
+    fn repo() -> ModelRepo {
+        let r = ModelRepo::new();
+        let model = Arc::new(neuro::zoo::student(vec![1, 4, 4], 2, 1));
+        for (name, output) in [
+            ("nUDF_detect", NudfOutput::Bool { true_class: 1 }),
+            ("nUDF_classify", NudfOutput::Label { labels: vec!["Floral Pattern".into(), "Stripe".into()] }),
+            ("nUDF_recog", NudfOutput::ClassId),
+        ] {
+            r.register(NudfSpec::new(name, Arc::clone(&model), output, vec![0.5, 0.5]));
+        }
+        r
+    }
+
+    #[test]
+    fn classifies_paper_table_i_examples() {
+        let repo = repo();
+        // Type 1: date filters + nUDF filter, no join.
+        let t1 = "SELECT sum(meter) FROM FABRIC F, Video V \
+                  WHERE F.printdate>'2021-01-01' and F.printdate<'2021-1-31' \
+                  and V.date>'2021-01-01' and V.date<'2021-1-31' \
+                  and nUDF_classify(V.keyframe)='Floral Pattern'";
+        assert_eq!(classify_sql(t1, &repo).unwrap(), QueryType::Type1);
+
+        // Type 2: nUDF inside an aggregate in the select list.
+        let t2 = "SELECT patternID, count(nUDF_detect(V.keyframe)=TRUE)/sum(meter) \
+                  FROM FABRIC F, Video V \
+                  WHERE F.printdate>'2021-01-01' and F.transID=V.transID \
+                  GROUP BY patternID";
+        assert_eq!(classify_sql(t2, &repo).unwrap(), QueryType::Type2);
+
+        // Type 3: relational predicates + join + nUDF filter.
+        let t3 = "SELECT patternID FROM FABRIC F, Video V \
+                  WHERE F.humidity>80 and F.temperature>30 \
+                  and F.transID=V.transID and nUDF_detect(V.keyframe)=FALSE";
+        assert_eq!(classify_sql(t3, &repo).unwrap(), QueryType::Type3);
+
+        // Type 4: nUDF compared against a column.
+        let t4 = "SELECT patternID FROM FABRIC F, Video V \
+                  WHERE F.transID=V.transID and F.patternID != nUDF_recog(V.keyframe)";
+        assert_eq!(classify_sql(t4, &repo).unwrap(), QueryType::Type4);
+    }
+
+    #[test]
+    fn difficulty_labels_match_table_i() {
+        assert_eq!(QueryType::Type1.difficulty(), "Easy");
+        assert_eq!(QueryType::Type2.difficulty(), "Medium");
+        assert_eq!(QueryType::Type3.difficulty(), "Medium");
+        assert_eq!(QueryType::Type4.difficulty(), "Hard");
+    }
+
+    #[test]
+    fn finds_distinct_nudf_calls() {
+        let repo = repo();
+        let sql = "SELECT patternID FROM FABRIC F, Video V \
+                   WHERE F.transID = V.transID and nUDF_detect(V.keyframe) = TRUE \
+                   and nUDF_classify(V.keyframe) = 'Floral Pattern' \
+                   and nUDF_detect(V.keyframe) = TRUE";
+        let Statement::Query(q) = parse_statement(sql).unwrap() else { panic!() };
+        let calls = nudf_calls_in_query(&q, &repo);
+        assert_eq!(calls.len(), 2, "duplicates collapse");
+    }
+
+    #[test]
+    fn non_select_is_rejected() {
+        let repo = repo();
+        assert!(classify_sql("DROP TABLE x", &repo).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! The **tight integration** strategy (paper "DL2SQL" / "DL2SQL-OP").
+//!
+//! The model is turned into relational tables and its inference pathway
+//! into SQL ([`dl2sql`]); an nUDF call in a collaborative query executes
+//! that SQL program inside the same database. The optimized variant
+//! additionally installs the customized cost model (paper Eq. 3–8) and
+//! attaches the nUDF's class histogram and cost so the hint rules of
+//! Sec. IV-B (placement, symmetric hash join) can fire.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dl2sql::{compile_model, hints, NeuralRegistry, Runner};
+use minidb::sql::ast::Statement;
+use minidb::sql::parser::parse_statement;
+use minidb::{Database, ScalarUdf};
+
+use crate::error::{Error, Result};
+use crate::metrics::{CostBreakdown, InferenceMeter, StrategyOutcome};
+use crate::nudf::{blob_to_tensor, ModelRepo};
+use crate::query::nudf_calls_in_query;
+use crate::Strategy;
+
+/// The DL2SQL strategy; `optimized` selects DL2SQL-OP.
+pub struct Tight {
+    db: Arc<Database>,
+    repo: Arc<ModelRepo>,
+    registry: Arc<NeuralRegistry>,
+    meter: Arc<InferenceMeter>,
+    optimized: bool,
+}
+
+impl Tight {
+    /// Builds the strategy over the shared database and repository.
+    pub fn new(
+        db: Arc<Database>,
+        repo: Arc<ModelRepo>,
+        registry: Arc<NeuralRegistry>,
+        meter: Arc<InferenceMeter>,
+        optimized: bool,
+    ) -> Self {
+        Tight { db, repo, registry, meter, optimized }
+    }
+}
+
+impl Strategy for Tight {
+    fn name(&self) -> &'static str {
+        if self.optimized {
+            "DL2SQL-OP"
+        } else {
+            "DL2SQL"
+        }
+    }
+
+    fn execute(&self, sql: &str) -> Result<StrategyOutcome> {
+        self.meter.reset();
+        let Statement::Query(q) = parse_statement(sql)? else {
+            return Err(Error::Coordinator("collaborative queries are SELECT statements".into()));
+        };
+        let calls = nudf_calls_in_query(&q, &self.repo);
+
+        // ---- loading: model → relational tables -------------------------
+        let mut loading = Duration::ZERO;
+        for call in &calls {
+            let minidb::sql::ast::Expr::Function { name, .. } = call else { continue };
+            let spec = self.repo.require(name)?;
+            let t0 = Instant::now();
+            // "Integrated into the system on the fly": the model — and,
+            // for a conditional nUDF, every condition-selected variant —
+            // is loaded from its source representation into relational
+            // tables per query.
+            let make_runner = |m: &Arc<neuro::Model>| -> Result<Arc<Runner>> {
+                let compiled = Arc::new(compile_model(&self.db, &self.registry, m)?);
+                Ok(Arc::new(Runner::new(
+                    Arc::clone(&self.db),
+                    Arc::clone(&self.registry),
+                    compiled,
+                )?))
+            };
+            let default_runner = make_runner(&spec.model)?;
+            let mut variant_runners: Vec<(f64, Arc<Runner>)> = Vec::new();
+            for v in &spec.variants {
+                variant_runners.push((v.min_condition, make_runner(&v.model)?));
+            }
+            loading += t0.elapsed();
+
+            // Deterministic per-inference flop count for device projection.
+            let probe_clock = neuro::SimClock::new();
+            let probe = neuro::Tensor::zeros(spec.model.input_shape.clone());
+            spec.model.forward_with_clock(&probe, Some(&probe_clock))?;
+            let flops_per_inference = probe_clock.flops();
+
+            let meter = Arc::clone(&self.meter);
+            let output = spec.output.clone();
+            let mut udf = ScalarUdf::new(
+                &spec.name,
+                spec.arg_types(),
+                spec.output.data_type(),
+                move |args| {
+                    let tensor = blob_to_tensor(&args[0])
+                        .map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                    // Condition-selected SQL program (paper Type 3).
+                    let runner = match args.get(1).map(|v| v.as_f64()).transpose()? {
+                        Some(cond) => variant_runners
+                            .iter()
+                            .filter(|(min, _)| cond >= *min)
+                            .max_by(|a, b| a.0.total_cmp(&b.0))
+                            .map(|(_, r)| r)
+                            .unwrap_or(&default_runner),
+                        None => &default_runner,
+                    };
+                    let t = Instant::now();
+                    let out = runner
+                        .infer(&tensor)
+                        .map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                    meter.add(t.elapsed());
+                    meter.clock.charge_flops(flops_per_inference);
+                    Ok(output.to_value(out.predicted_class))
+                },
+            )
+            // Cost per row scales with model size (the customized model's
+            // placement rule only needs relative magnitudes).
+            .with_cost(spec.model.param_count() as f64);
+            if self.optimized && !spec.class_probs.is_empty() {
+                udf = udf.with_class_probabilities(spec.output.value_histogram(&spec.class_probs));
+            }
+            self.db.register_udf(udf);
+        }
+
+        // ---- optimizer configuration -------------------------------------
+        if self.optimized {
+            hints::enable_op(&self.db, Arc::clone(&self.registry));
+        } else {
+            hints::disable_op(&self.db);
+        }
+
+        // ---- run entirely inside the database -----------------------------
+        let t_run = Instant::now();
+        let result = self.db.execute(sql)?;
+        let total_run = t_run.elapsed();
+        let inference = self.meter.total();
+
+        Ok(StrategyOutcome {
+            table: result.into_table(),
+            breakdown: CostBreakdown {
+                loading,
+                inference,
+                relational: total_run.saturating_sub(inference),
+            },
+            sim: self.meter.summary(),
+        })
+    }
+}
+
+impl Tight {
+    /// The per-step SQL timing of one standalone inference — the data
+    /// behind paper Fig. 9. Compiles the nUDF's model and runs one
+    /// keyframe through the SQL program.
+    pub fn profile_inference(
+        &self,
+        nudf: &str,
+        keyframe: &neuro::Tensor,
+    ) -> Result<dl2sql::InferenceOutcome> {
+        let spec = self.repo.require(nudf)?;
+        let compiled = Arc::new(compile_model(&self.db, &self.registry, &spec.model)?);
+        let runner = Runner::new(Arc::clone(&self.db), Arc::clone(&self.registry), compiled)?;
+        Ok(runner.infer(keyframe)?)
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type unifying database and tensor-engine failures.
+
+use std::fmt;
+
+/// Errors from compiling or running a model as SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The underlying database rejected or failed a statement.
+    Db(minidb::Error),
+    /// The tensor engine failed (shape inference, reference execution).
+    Neuro(neuro::Error),
+    /// The model contains an operator DL2SQL does not support (paper
+    /// Table II's "Unsupported" rows: LSTM, GRU, self-attention).
+    Unsupported(String),
+    /// The model's geometry is inconsistent (e.g. a residual block whose
+    /// branches produce different shapes).
+    Geometry(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Db(e) => write!(f, "database error: {e}"),
+            Error::Neuro(e) => write!(f, "tensor engine error: {e}"),
+            Error::Unsupported(what) => write!(f, "unsupported by DL2SQL: {what}"),
+            Error::Geometry(msg) => write!(f, "geometry error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<minidb::Error> for Error {
+    fn from(e: minidb::Error) -> Self {
+        Error::Db(e)
+    }
+}
+
+impl From<neuro::Error> for Error {
+    fn from(e: neuro::Error) -> Self {
+        Error::Neuro(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,56 @@
+//! `dl2sql` — the paper's contribution: deep-learning inference as SQL.
+//!
+//! DL2SQL "turns a deep learning model into relational tables, where each
+//! record represents a parameter in the model, and converts the deep
+//! learning operators into operations over the relational tables" (paper
+//! Sec. III-C). This crate implements that pipeline on top of the
+//! [`minidb`] engine and cross-checks it against the [`neuro`] reference
+//! engine:
+//!
+//! * [`storage`] — Algorithms 1 & 2: feature-map table generation, kernel
+//!   tables, kernel-mapping tables, plus the storage accounting behind
+//!   paper Table IV,
+//! * [`compiler`] — per-operator SQL generation: the conv join+group-by
+//!   (Q1), the re-layout mapping join (Q2), pooling (Q3), batch
+//!   normalization (Q4), ReLU-as-UPDATE and residual links (Q5), FC as a
+//!   1×1 convolution, softmax classification heads,
+//! * [`runner`] — executes a compiled model inside the database and
+//!   separates *loading* cost from *inference* cost (the paper's cost
+//!   breakdown),
+//! * [`cost`] — the customized cost model of paper Eq. 3–8, installed into
+//!   `minidb` through its [`minidb::CostModel`] trait,
+//! * [`hints`] — the collaborative-query hint rules of paper Sec. IV-B,
+//! * [`prejoin`] — the pre-join variants evaluated in paper Fig. 11.
+//!
+//! # Generalizations over the paper's listings
+//!
+//! The paper's running example is a single-channel convolution. This
+//! implementation generalizes exactly as the paper's footnotes require:
+//!
+//! * **Multi-channel inputs** — the paper keeps "a feature table for each
+//!   channel"; we fold the channel into `OrderID` (receptive-field
+//!   positions are numbered channel-major, `OrderID ∈ [0, C_in·k²)`),
+//!   which is the same normalization with one table instead of `C_in`.
+//!   The kernel-mapping table consequently carries a `KernelID` column
+//!   identifying which output channel of the previous layer each staged
+//!   value comes from.
+//! * **Padding** — padded positions would hold zeros, and zeros contribute
+//!   nothing to the convolution's `SUM`; the mapping table simply omits
+//!   them, which is mathematically identical and cheaper.
+
+pub mod compiler;
+pub mod cost;
+pub mod error;
+pub mod hints;
+pub mod prejoin;
+pub mod registry;
+pub mod runner;
+pub mod storage;
+
+pub use compiler::{
+    compile_model, compile_model_with_strategy, CompiledModel, PreJoinStrategy, SqlStep, StepKind,
+};
+pub use cost::Dl2SqlCostModel;
+pub use error::{Error, Result};
+pub use registry::{NeuralRegistry, TableRole};
+pub use runner::{InferenceOutcome, Runner, StepTiming};

@@ -1,0 +1,141 @@
+//! Pre-join strategy comparison (paper Fig. 11).
+//!
+//! The strategies themselves live in
+//! [`crate::compiler::PreJoinStrategy`]; this module provides the harness
+//! that compiles one model under every strategy and measures per-CNN-block
+//! inference time on the same input.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use std::sync::Arc;
+
+use minidb::Database;
+use neuro::{Model, Tensor};
+
+use crate::compiler::{compile_model_with_strategy, PreJoinStrategy};
+use crate::error::Result;
+use crate::registry::NeuralRegistry;
+use crate::runner::Runner;
+
+/// Per-strategy, per-block timing for one model/input pair.
+#[derive(Debug, Clone)]
+pub struct PreJoinComparison {
+    /// Strategy → (block label → accumulated time). Block labels follow
+    /// paper Fig. 9 ("Conv1", "Reshape1", ...).
+    pub per_block: Vec<(PreJoinStrategy, BTreeMap<String, Duration>)>,
+    /// Strategy → total inference time.
+    pub totals: Vec<(PreJoinStrategy, Duration)>,
+    /// Predicted class per strategy (must all agree).
+    pub predictions: Vec<(PreJoinStrategy, usize)>,
+}
+
+/// Runs `model` on `input` under all three strategies, averaging over
+/// `repetitions` runs.
+pub fn compare_strategies(
+    db: &Arc<Database>,
+    registry: &Arc<NeuralRegistry>,
+    model: &Model,
+    input: &Tensor,
+    repetitions: usize,
+) -> Result<PreJoinComparison> {
+    let strategies = [
+        PreJoinStrategy::None,
+        PreJoinStrategy::FuseMapping,
+        PreJoinStrategy::PreJoinKernel,
+    ];
+    let mut per_block = Vec::new();
+    let mut totals = Vec::new();
+    let mut predictions = Vec::new();
+    let reps = repetitions.max(1);
+
+    for strategy in strategies {
+        let compiled = Arc::new(compile_model_with_strategy(db, registry, model, strategy)?);
+        let runner = Runner::new(Arc::clone(db), Arc::clone(registry), compiled)?;
+        let mut blocks: BTreeMap<String, Duration> = BTreeMap::new();
+        let mut total = Duration::ZERO;
+        let mut predicted = 0;
+        for _ in 0..reps {
+            let out = runner.infer(input)?;
+            for t in &out.step_timings {
+                *blocks.entry(t.label.clone()).or_default() += t.duration;
+            }
+            total += out.inference_time;
+            predicted = out.predicted_class;
+        }
+        for v in blocks.values_mut() {
+            *v /= reps as u32;
+        }
+        per_block.push((strategy, blocks));
+        totals.push((strategy, total / reps as u32));
+        predictions.push((strategy, predicted));
+    }
+    Ok(PreJoinComparison { per_block, totals, predictions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuro::zoo;
+
+    #[test]
+    fn all_strategies_agree_on_predictions() {
+        let db = Arc::new(Database::new());
+        let registry = Arc::new(NeuralRegistry::new());
+        let model = zoo::student(vec![1, 10, 10], 4, 31);
+        let input = Tensor::new(
+            vec![1, 10, 10],
+            (0..100).map(|i| ((i * 37 % 100) as f32 / 50.0) - 1.0).collect(),
+        )
+        .unwrap();
+        let cmp = compare_strategies(&db, &registry, &model, &input, 1).unwrap();
+        let expected = model.predict(&input).unwrap();
+        for (s, p) in &cmp.predictions {
+            assert_eq!(*p, expected, "strategy {s:?} diverged");
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_a_residual_model() {
+        let db = Arc::new(Database::new());
+        let registry = Arc::new(NeuralRegistry::new());
+        let model = zoo::resnet_with_width(5, 4, vec![1, 8, 8], 3, 77);
+        let input = Tensor::new(
+            vec![1, 8, 8],
+            (0..64).map(|i| ((i * 29 % 64) as f32 / 32.0) - 1.0).collect(),
+        )
+        .unwrap();
+        let cmp = compare_strategies(&db, &registry, &model, &input, 1).unwrap();
+        let expected = model.predict(&input).unwrap();
+        for (s, p) in &cmp.predictions {
+            assert_eq!(*p, expected, "strategy {s:?} diverged on the resnet");
+        }
+    }
+
+    #[test]
+    fn fused_strategies_emit_fewer_steps() {
+        let db = Database::new();
+        let registry = NeuralRegistry::new();
+        let model = zoo::student(vec![1, 8, 8], 2, 5);
+        let plain = compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::None).unwrap();
+        let fused =
+            compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::FuseMapping).unwrap();
+        assert!(fused.steps.len() < plain.steps.len(), "fusing removes the Reshape steps");
+        assert!(plain.steps.iter().any(|s| s.label.starts_with("Reshape")));
+        assert!(!fused.steps.iter().any(|s| s.label.starts_with("Reshape")));
+    }
+
+    #[test]
+    fn prejoined_kernel_trades_storage_for_joins() {
+        let db = Database::new();
+        let registry = NeuralRegistry::new();
+        let model = zoo::student(vec![1, 8, 8], 2, 5);
+        let plain = compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::None).unwrap();
+        let pre =
+            compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::PreJoinKernel).unwrap();
+        assert!(
+            pre.storage_bytes(&db) > plain.storage_bytes(&db),
+            "pre-joined tables replicate weights per output channel"
+        );
+    }
+}

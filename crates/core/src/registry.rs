@@ -1,0 +1,94 @@
+//! Registry of neural tables and their geometry.
+//!
+//! The compiler records what each table it creates *means* (kernel table
+//! of a conv with `k_in` weights per output channel, staged feature map
+//! with `T_in` rows, ...). The customized cost model reads this registry
+//! to recognize the conv join pattern and apply the paper's Eq. 3–8
+//! instead of generic heuristics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// What a registered table is, with the geometry the cost formulas need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TableRole {
+    /// A staged feature-map table `{MatrixID, OrderID, Value}` feeding a
+    /// conv join. `t_in` is its cardinality (paper `T_in`), `k_in` the
+    /// receptive-field size `k_h·k_w·N_in`.
+    StagedFeatureMap { t_in: u64, k_in: u64 },
+    /// A kernel table `{KernelID, OrderID, Value}`. Rows = `k_in · n_out`.
+    Kernel { k_in: u64, n_out: u64 },
+    /// A layer state table `{KernelID, TupleID, Value}` with known rows.
+    State { rows: u64 },
+    /// A kernel-mapping table (paper Algorithm 2), assumed cache-resident
+    /// by the cost model ("fully maintained in the L2 cache").
+    Mapping { rows: u64 },
+}
+
+/// Shared, thread-safe name → role map.
+#[derive(Debug, Default)]
+pub struct NeuralRegistry {
+    map: RwLock<HashMap<String, TableRole>>,
+}
+
+impl NeuralRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        NeuralRegistry::default()
+    }
+
+    /// A shared handle.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Registers (or updates) a table's role.
+    pub fn register(&self, table: &str, role: TableRole) {
+        self.map.write().insert(table.to_ascii_lowercase(), role);
+    }
+
+    /// Looks up a table's role.
+    pub fn role(&self, table: &str) -> Option<TableRole> {
+        self.map.read().get(&table.to_ascii_lowercase()).copied()
+    }
+
+    /// Removes a table.
+    pub fn unregister(&self, table: &str) {
+        self.map.write().remove(&table.to_ascii_lowercase());
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let r = NeuralRegistry::new();
+        r.register("M_Student_L0_Kernel", TableRole::Kernel { k_in: 9, n_out: 8 });
+        assert_eq!(r.role("m_student_l0_kernel"), Some(TableRole::Kernel { k_in: 9, n_out: 8 }));
+        assert_eq!(r.role("other"), None);
+    }
+
+    #[test]
+    fn update_and_unregister() {
+        let r = NeuralRegistry::new();
+        r.register("t", TableRole::State { rows: 10 });
+        r.register("t", TableRole::State { rows: 20 });
+        assert_eq!(r.role("t"), Some(TableRole::State { rows: 20 }));
+        r.unregister("t");
+        assert!(r.is_empty());
+    }
+}

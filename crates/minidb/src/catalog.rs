@@ -1,0 +1,209 @@
+//! The catalog: tables, views and indices, behind a `parking_lot` lock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+use crate::index::HashIndex;
+use crate::sql::ast::Query;
+use crate::table::{Table, TableRef};
+
+#[derive(Default)]
+struct Inner {
+    tables: HashMap<String, TableRef>,
+    views: HashMap<String, Arc<Query>>,
+    /// Indices keyed by lower-cased table name.
+    indexes: HashMap<String, Vec<Arc<HashIndex>>>,
+}
+
+/// Thread-safe name → object registry.
+#[derive(Default)]
+pub struct Catalog {
+    inner: RwLock<Inner>,
+}
+
+fn key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table. Fails if a table or view of that name exists and
+    /// `or_replace` is false.
+    pub fn create_table(&self, name: &str, table: Table, or_replace: bool) -> Result<()> {
+        let mut inner = self.inner.write();
+        let k = key(name);
+        if !or_replace && (inner.tables.contains_key(&k) || inner.views.contains_key(&k)) {
+            return Err(Error::AlreadyExists(format!("table or view '{name}'")));
+        }
+        inner.indexes.remove(&k);
+        inner.views.remove(&k);
+        inner.tables.insert(k, Arc::new(table));
+        Ok(())
+    }
+
+    /// Registers a view definition.
+    pub fn create_view(&self, name: &str, query: Query, or_replace: bool) -> Result<()> {
+        let mut inner = self.inner.write();
+        let k = key(name);
+        if !or_replace && (inner.tables.contains_key(&k) || inner.views.contains_key(&k)) {
+            return Err(Error::AlreadyExists(format!("table or view '{name}'")));
+        }
+        inner.tables.remove(&k);
+        inner.views.insert(k, Arc::new(query));
+        Ok(())
+    }
+
+    /// Snapshot of a table by name.
+    pub fn table(&self, name: &str) -> Option<TableRef> {
+        self.inner.read().tables.get(&key(name)).cloned()
+    }
+
+    /// View definition by name.
+    pub fn view(&self, name: &str) -> Option<Arc<Query>> {
+        self.inner.read().views.get(&key(name)).cloned()
+    }
+
+    /// Replaces a table's contents in place (used by INSERT/UPDATE).
+    pub fn replace_table(&self, name: &str, table: Table) -> Result<()> {
+        let mut inner = self.inner.write();
+        let k = key(name);
+        if !inner.tables.contains_key(&k) {
+            return Err(Error::NotFound(format!("table '{name}'")));
+        }
+        // Data changed: indices over the old snapshot are stale.
+        inner.indexes.remove(&k);
+        inner.tables.insert(k, Arc::new(table));
+        Ok(())
+    }
+
+    /// Drops a table; `Ok(false)` when absent and `if_exists`.
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<bool> {
+        let mut inner = self.inner.write();
+        let k = key(name);
+        inner.indexes.remove(&k);
+        if inner.tables.remove(&k).is_some() {
+            Ok(true)
+        } else if if_exists {
+            Ok(false)
+        } else {
+            Err(Error::NotFound(format!("table '{name}'")))
+        }
+    }
+
+    /// Drops a view; `Ok(false)` when absent and `if_exists`.
+    pub fn drop_view(&self, name: &str, if_exists: bool) -> Result<bool> {
+        let mut inner = self.inner.write();
+        if inner.views.remove(&key(name)).is_some() {
+            Ok(true)
+        } else if if_exists {
+            Ok(false)
+        } else {
+            Err(Error::NotFound(format!("view '{name}'")))
+        }
+    }
+
+    /// Builds (or rebuilds) a hash index on `table.column`.
+    pub fn create_index(&self, table_name: &str, column: &str) -> Result<()> {
+        let table = self
+            .table(table_name)
+            .ok_or_else(|| Error::NotFound(format!("table '{table_name}'")))?;
+        let idx = Arc::new(HashIndex::build(&table, column)?);
+        let mut inner = self.inner.write();
+        let list = inner.indexes.entry(key(table_name)).or_default();
+        list.retain(|i| !i.column.eq_ignore_ascii_case(column));
+        list.push(idx);
+        Ok(())
+    }
+
+    /// A current (non-stale) index on `table.column`, if one exists.
+    pub fn index(&self, table_name: &str, column: &str) -> Option<Arc<HashIndex>> {
+        let inner = self.inner.read();
+        let idx = inner
+            .indexes
+            .get(&key(table_name))?
+            .iter()
+            .find(|i| i.column.eq_ignore_ascii_case(column))?
+            .clone();
+        let table = inner.tables.get(&key(table_name))?;
+        (idx.rows() == table.num_rows()).then_some(idx)
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.read().tables.keys().cloned().collect()
+    }
+
+    /// Names of all views.
+    pub fn view_names(&self) -> Vec<String> {
+        self.inner.read().views.keys().cloned().collect()
+    }
+
+    /// Total approximate bytes across all tables (storage experiments).
+    pub fn total_memory_bytes(&self) -> usize {
+        self.inner.read().tables.values().map(|t| t.memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::table::{Field, Schema};
+    use crate::value::DataType;
+
+    fn t(rows: Vec<i64>) -> Table {
+        Table::new(
+            Schema::new(vec![Field::new("id", DataType::Int64)]),
+            vec![Column::Int64(rows)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_and_lookup_case_insensitive() {
+        let c = Catalog::new();
+        c.create_table("Fabric", t(vec![1]), false).unwrap();
+        assert!(c.table("FABRIC").is_some());
+        assert!(matches!(c.create_table("fabric", t(vec![]), false), Err(Error::AlreadyExists(_))));
+        c.create_table("fabric", t(vec![2]), true).unwrap();
+        assert_eq!(c.table("fabric").unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn drop_semantics() {
+        let c = Catalog::new();
+        c.create_table("t", t(vec![]), false).unwrap();
+        assert!(c.drop_table("t", false).unwrap());
+        assert!(!c.drop_table("t", true).unwrap());
+        assert!(c.drop_table("t", false).is_err());
+    }
+
+    #[test]
+    fn index_staleness_after_replace() {
+        let c = Catalog::new();
+        c.create_table("t", t(vec![1, 2, 3]), false).unwrap();
+        c.create_index("t", "id").unwrap();
+        assert!(c.index("t", "id").is_some());
+        c.replace_table("t", t(vec![1, 2, 3, 4])).unwrap();
+        assert!(c.index("t", "id").is_none(), "index must be invalidated");
+    }
+
+    #[test]
+    fn views_and_tables_share_a_namespace() {
+        let c = Catalog::new();
+        c.create_table("x", t(vec![]), false).unwrap();
+        let q = crate::sql::parser::parse_statement("SELECT 1 a").unwrap();
+        let crate::sql::ast::Statement::Query(q) = q else { panic!() };
+        assert!(c.create_view("x", q.clone(), false).is_err());
+        assert!(c.create_view("v", q, false).is_ok());
+        assert!(c.view("V").is_some());
+        assert!(c.drop_view("v", false).unwrap());
+    }
+}

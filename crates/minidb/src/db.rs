@@ -1,0 +1,738 @@
+//! The database facade: parse → plan → optimize → execute.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::catalog::Catalog;
+use crate::column::Column;
+use crate::cost::{CostContext, CostModel, DefaultCostModel, PlanCost};
+use crate::error::{Error, Result};
+use crate::exec::{self, ExecConfig, ExecContext};
+use crate::expr::EvalContext;
+use crate::optimizer::{Optimizer, OptimizerConfig};
+use crate::plan::logical::LogicalPlan;
+use crate::plan::planner::Planner;
+use crate::profile::{OperatorKind, Profiler};
+use crate::sql::ast::{ObjectKind, Query, Statement};
+use crate::sql::parser;
+use crate::stats::StatsCache;
+use crate::table::{Field, Schema, Table};
+use crate::udf::{ScalarUdf, UdfRegistry};
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    table: Table,
+    rows_affected: usize,
+}
+
+impl QueryResult {
+    /// The result table (empty for DML/DDL statements).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Consumes the result, returning the table.
+    pub fn into_table(self) -> Table {
+        self.table
+    }
+
+    /// Rows returned (SELECT) or modified (DML).
+    pub fn rows_affected(&self) -> usize {
+        self.rows_affected
+    }
+}
+
+/// An in-memory SQL database instance.
+pub struct Database {
+    catalog: Catalog,
+    udfs: UdfRegistry,
+    profiler: Profiler,
+    stats: StatsCache,
+    exec_config: RwLock<ExecConfig>,
+    optimizer_config: RwLock<OptimizerConfig>,
+    cost_model: RwLock<Arc<dyn CostModel>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// A fresh database with the default cost model and optimizer config.
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            udfs: UdfRegistry::new(),
+            profiler: Profiler::new(),
+            stats: StatsCache::new(),
+            exec_config: RwLock::new(ExecConfig::default()),
+            optimizer_config: RwLock::new(OptimizerConfig::default()),
+            cost_model: RwLock::new(Arc::new(DefaultCostModel::default())),
+        }
+    }
+
+    /// The catalog (to create tables programmatically).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The UDF registry.
+    pub fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    /// Registers a scalar UDF (convenience for `udfs().register`).
+    pub fn register_udf(&self, udf: ScalarUdf) {
+        self.udfs.register(udf);
+    }
+
+    /// The per-operator profiler.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Installs a cost model (the DL2SQL crate installs the paper's
+    /// customized model here).
+    pub fn set_cost_model(&self, model: Arc<dyn CostModel>) {
+        *self.cost_model.write() = model;
+    }
+
+    /// The currently-installed cost model.
+    pub fn cost_model(&self) -> Arc<dyn CostModel> {
+        self.cost_model.read().clone()
+    }
+
+    /// Replaces the optimizer configuration.
+    pub fn set_optimizer_config(&self, config: OptimizerConfig) {
+        *self.optimizer_config.write() = config;
+    }
+
+    /// The current optimizer configuration.
+    pub fn optimizer_config(&self) -> OptimizerConfig {
+        self.optimizer_config.read().clone()
+    }
+
+    /// Replaces the executor configuration.
+    pub fn set_exec_config(&self, config: ExecConfig) {
+        *self.exec_config.write() = config;
+    }
+
+    // ------------------------------------------------------------------
+    // statement execution
+    // ------------------------------------------------------------------
+
+    /// Parses and executes a single SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parser::parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Executes a semicolon-separated script, returning the last result.
+    pub fn execute_script(&self, sql: &str) -> Result<QueryResult> {
+        let stmts = parser::parse_statements(sql)?;
+        let mut last = QueryResult { table: Table::empty(Schema::default()), rows_affected: 0 };
+        for s in &stmts {
+            last = self.execute_statement(s)?;
+        }
+        Ok(last)
+    }
+
+    /// Executes a parsed statement.
+    pub fn execute_statement(&self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Query(q) => {
+                let table = self.run_query(q)?;
+                let rows = table.num_rows();
+                Ok(QueryResult { table, rows_affected: rows })
+            }
+            Statement::CreateTable { name, if_not_exists, columns, as_query, .. } => {
+                if *if_not_exists && self.catalog.table(name).is_some() {
+                    return Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: 0 });
+                }
+                // The inner query's operators record themselves; the
+                // CreateTable entry covers only the materialization.
+                let table = match as_query {
+                    Some(q) => self.run_query(q)?,
+                    None => {
+                        let schema = Schema::new(
+                            columns.iter().map(|(n, t)| Field::new(n.clone(), *t)).collect(),
+                        );
+                        Table::empty(schema)
+                    }
+                };
+                let start = std::time::Instant::now();
+                let rows = table.num_rows();
+                // `CREATE TEMP TABLE` re-creation is idiomatic in the
+                // DL2SQL-generated scripts: allow replacement.
+                self.catalog.create_table(name, table, true)?;
+                self.profiler.record(OperatorKind::CreateTable, start.elapsed(), rows);
+                Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: rows })
+            }
+            Statement::CreateView { name, query } => {
+                // Validate the definition by planning it once.
+                let _plan = self.plan_query(query)?;
+                self.catalog.create_view(name, query.clone(), true)?;
+                Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: 0 })
+            }
+            Statement::Insert { table, rows } => self.run_insert(table, rows),
+            Statement::InsertSelect { table, query } => {
+                let start = std::time::Instant::now();
+                let current = self
+                    .catalog
+                    .table(table)
+                    .ok_or_else(|| Error::NotFound(format!("table '{table}'")))?;
+                let incoming = self.run_query(query)?;
+                if incoming.num_columns() != current.num_columns() {
+                    return Err(Error::Plan(format!(
+                        "INSERT SELECT produces {} columns, table '{table}' has {}",
+                        incoming.num_columns(),
+                        current.num_columns()
+                    )));
+                }
+                let mut new_table = (*current).clone();
+                for row in 0..incoming.num_rows() {
+                    new_table.push_row(incoming.row(row))?;
+                }
+                let affected = incoming.num_rows();
+                self.catalog.replace_table(table, new_table)?;
+                self.profiler.record(OperatorKind::Insert, start.elapsed(), affected);
+                Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: affected })
+            }
+            Statement::Update { table, assignments, predicate } => {
+                self.run_update(table, assignments, predicate.as_ref())
+            }
+            Statement::CreateIndex { table, column } => {
+                self.catalog.create_index(table, column)?;
+                Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: 0 })
+            }
+            Statement::Explain(q) => {
+                let text = self.explain_plan_with_costs(&self.plan_query(q)?);
+                let mut col = Column::empty(crate::value::DataType::Utf8);
+                for line in text.lines() {
+                    col.push(crate::value::Value::Utf8(line.to_string()))?;
+                }
+                let table = Table::new(
+                    Schema::new(vec![Field::new("plan", crate::value::DataType::Utf8)]),
+                    vec![col],
+                )?;
+                let rows = table.num_rows();
+                Ok(QueryResult { table, rows_affected: rows })
+            }
+            Statement::Drop { kind, name, if_exists } => {
+                let dropped = match kind {
+                    ObjectKind::Table => self.catalog.drop_table(name, *if_exists)?,
+                    ObjectKind::View => self.catalog.drop_view(name, *if_exists)?,
+                };
+                Ok(QueryResult {
+                    table: Table::empty(Schema::default()),
+                    rows_affected: dropped as usize,
+                })
+            }
+        }
+    }
+
+    /// Plans, optimizes and executes a SELECT.
+    pub fn run_query(&self, q: &Query) -> Result<Table> {
+        let plan = self.plan_query(q)?;
+        self.execute_plan(&plan)
+    }
+
+    /// Plans and optimizes a SELECT without executing it.
+    pub fn plan_query(&self, q: &Query) -> Result<LogicalPlan> {
+        let runner = |sub: &Query| self.run_query(sub);
+        let planner = Planner::new(&self.catalog, &self.udfs, Some(&runner));
+        let plan = planner.plan_query(q)?;
+        let optimizer = Optimizer::new(self.optimizer_config(), self.cost_model());
+        let ctx = CostContext { catalog: &self.catalog, udfs: &self.udfs, stats: &self.stats };
+        let plan = optimizer.optimize(plan, &ctx)?;
+        let plan = crate::optimizer::fold_plan_constants(plan, &self.udfs);
+        Ok(crate::optimizer::prune_columns(plan))
+    }
+
+    /// Executes an already-optimized plan.
+    pub fn execute_plan(&self, plan: &LogicalPlan) -> Result<Table> {
+        let exec_config = self.exec_config.read().clone();
+        let ctx = ExecContext {
+            catalog: &self.catalog,
+            udfs: &self.udfs,
+            profiler: &self.profiler,
+            config: &exec_config,
+        };
+        exec::execute(plan, &ctx)
+    }
+
+    /// The optimized plan for a SELECT statement, as EXPLAIN text.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parser::parse_statement(sql)?;
+        let Statement::Query(q) = stmt else {
+            return Err(Error::Plan("EXPLAIN supports SELECT statements".into()));
+        };
+        Ok(self.explain_plan_with_costs(&self.plan_query(&q)?))
+    }
+
+    /// Renders a plan with per-node row/cost estimates from the installed
+    /// cost model.
+    fn explain_plan_with_costs(&self, plan: &LogicalPlan) -> String {
+        let model = self.cost_model();
+        let ctx = CostContext { catalog: &self.catalog, udfs: &self.udfs, stats: &self.stats };
+        fn walk(
+            plan: &LogicalPlan,
+            depth: usize,
+            model: &dyn CostModel,
+            ctx: &CostContext<'_>,
+            out: &mut String,
+        ) {
+            let est = model.estimate(plan, ctx);
+            // Reuse the single-line rendering of display_indent.
+            let line = plan
+                .display_indent()
+                .lines()
+                .next()
+                .unwrap_or_default()
+                .to_string();
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("{line}  [rows≈{:.0}, cost≈{:.0}]
+", est.rows, est.cost));
+            for c in plan.children() {
+                walk(c, depth + 1, model, ctx, out);
+            }
+        }
+        let mut out = String::new();
+        walk(plan, 0, model.as_ref(), &ctx, &mut out);
+        out
+    }
+
+    /// Cost estimate of a SELECT under the installed cost model.
+    pub fn estimate(&self, sql: &str) -> Result<PlanCost> {
+        self.estimate_with(sql, self.cost_model().as_ref())
+    }
+
+    /// Cost estimate of a SELECT under an arbitrary model (paper Fig. 12
+    /// compares the default and customized models on the same plans).
+    pub fn estimate_with(&self, sql: &str, model: &dyn CostModel) -> Result<PlanCost> {
+        let stmt = parser::parse_statement(sql)?;
+        let Statement::Query(q) = stmt else {
+            return Err(Error::Plan("cost estimation supports SELECT statements".into()));
+        };
+        let plan = self.plan_query(&q)?;
+        let ctx = CostContext { catalog: &self.catalog, udfs: &self.udfs, stats: &self.stats };
+        Ok(model.estimate(&plan, &ctx))
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    fn run_insert(&self, table_name: &str, rows: &[Vec<crate::sql::ast::Expr>]) -> Result<QueryResult> {
+        let start = std::time::Instant::now();
+        let current = self
+            .catalog
+            .table(table_name)
+            .ok_or_else(|| Error::NotFound(format!("table '{table_name}'")))?;
+        let mut new_table = (*current).clone();
+        let planner = Planner::new(&self.catalog, &self.udfs, None);
+        let eval_ctx = EvalContext { udfs: &self.udfs };
+        let empty = Schema::default();
+        for row in rows {
+            if row.len() != new_table.num_columns() {
+                return Err(Error::Plan(format!(
+                    "INSERT row has {} values, table '{table_name}' has {} columns",
+                    row.len(),
+                    new_table.num_columns()
+                )));
+            }
+            let values: Vec<crate::value::Value> = row
+                .iter()
+                .map(|e| planner.bind_against_table(e, &empty)?.eval_const(&eval_ctx))
+                .collect::<Result<_>>()?;
+            // Date columns accept string literals; push coerces.
+            new_table.push_row(values)?;
+        }
+        let affected = rows.len();
+        self.catalog.replace_table(table_name, new_table)?;
+        self.profiler.record(OperatorKind::Insert, start.elapsed(), affected);
+        Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: affected })
+    }
+
+    fn run_update(
+        &self,
+        table_name: &str,
+        assignments: &[(String, crate::sql::ast::Expr)],
+        predicate: Option<&crate::sql::ast::Expr>,
+    ) -> Result<QueryResult> {
+        let start = std::time::Instant::now();
+        let current = self
+            .catalog
+            .table(table_name)
+            .ok_or_else(|| Error::NotFound(format!("table '{table_name}'")))?;
+        let planner = Planner::new(&self.catalog, &self.udfs, None);
+        let eval_ctx = EvalContext { udfs: &self.udfs };
+        let schema = current.schema().clone();
+
+        let mask: Vec<bool> = match predicate {
+            Some(p) => {
+                let bound = planner.bind_against_table(p, &schema)?;
+                bound.eval(&current, &eval_ctx)?.as_bool_slice()?.to_vec()
+            }
+            None => vec![true; current.num_rows()],
+        };
+        let affected = mask.iter().filter(|&&b| b).count();
+
+        let mut new_table = (*current).clone();
+        for (col_name, expr) in assignments {
+            let idx = schema.index_of(col_name)?;
+            let bound = planner.bind_against_table(expr, &schema)?;
+            let new_vals = bound.eval(&current, &eval_ctx)?;
+            let old = current.column(idx);
+            let target = schema.field(idx).data_type;
+            let mut rebuilt = Column::empty(target);
+            #[allow(clippy::needless_range_loop)] // row indexes three parallel columns
+            for row in 0..current.num_rows() {
+                let v = if mask[row] { new_vals.value(row) } else { old.value(row) };
+                rebuilt.push(v)?;
+            }
+            new_table.set_column(idx, rebuilt)?;
+        }
+        self.catalog.replace_table(table_name, new_table)?;
+        self.profiler.record(OperatorKind::Update, start.elapsed(), affected);
+        Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: affected })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    fn db_with_data() -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE fabric (transID Int64, patternID Int64, meter Float64, printdate Date, humidity Float64)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO fabric VALUES \
+             (1, 10, 5.0, '2021-01-05', 85.0), \
+             (2, 10, 7.5, '2021-01-10', 70.0), \
+             (3, 20, 2.5, '2021-02-01', 90.0), \
+             (4, 30, 4.0, '2021-01-20', 82.0)",
+        )
+        .unwrap();
+        db.execute("CREATE TABLE video (transID Int64, frame Int64)").unwrap();
+        db.execute("INSERT INTO video VALUES (1, 100), (2, 200), (3, 300), (9, 900)").unwrap();
+        db
+    }
+
+    #[test]
+    fn select_filter_on_dates() {
+        let db = db_with_data();
+        let out = db
+            .execute("SELECT transID FROM fabric WHERE printdate > '2021-01-01' and printdate < '2021-1-31'")
+            .unwrap();
+        assert_eq!(out.table().num_rows(), 3);
+    }
+
+    #[test]
+    fn implicit_join_with_where() {
+        let db = db_with_data();
+        let out = db
+            .execute("SELECT f.transID, v.frame FROM fabric f, video v WHERE f.transID = v.transID")
+            .unwrap();
+        assert_eq!(out.table().num_rows(), 3);
+    }
+
+    #[test]
+    fn explicit_inner_join() {
+        let db = db_with_data();
+        let out = db
+            .execute(
+                "SELECT f.transID FROM fabric f INNER JOIN video v ON f.transID = v.transID \
+                 WHERE f.humidity > 80",
+            )
+            .unwrap();
+        assert_eq!(out.table().num_rows(), 2); // trans 1 (85) and 3 (90)
+    }
+
+    #[test]
+    fn group_by_with_expression_over_aggregates() {
+        let db = db_with_data();
+        let out = db
+            .execute(
+                "SELECT patternID, sum(meter) / count(*) AS avg_m FROM fabric \
+                 GROUP BY patternID ORDER BY patternID",
+            )
+            .unwrap();
+        let t = out.table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.column(0).i64_at(0), 10);
+        assert!((t.column(1).f64_at(0) - 6.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn create_table_as_and_scalar_subquery() {
+        let db = db_with_data();
+        db.execute("CREATE TEMP TABLE m AS SELECT meter FROM fabric").unwrap();
+        let out = db
+            .execute(
+                "SELECT meter - (SELECT AVG(meter) FROM m) AS centered FROM m ORDER BY centered",
+            )
+            .unwrap();
+        let t = out.table();
+        assert_eq!(t.num_rows(), 4);
+        let sum: f64 = (0..4).map(|i| t.column(0).f64_at(i)).sum();
+        assert!(sum.abs() < 1e-9, "centered values sum to ~0");
+    }
+
+    #[test]
+    fn paper_style_create_temp_table_with_paren_query() {
+        let db = db_with_data();
+        db.execute(
+            "CREATE TEMP TABLE agg( SELECT patternID, sum(meter) as total FROM fabric GROUP BY patternID)",
+        )
+        .unwrap();
+        let out = db.execute("SELECT * FROM agg ORDER BY patternID").unwrap();
+        assert_eq!(out.table().num_rows(), 3);
+    }
+
+    #[test]
+    fn update_with_predicate_is_the_relu_idiom() {
+        let db = Database::new();
+        db.execute("CREATE TABLE fm (id Int64, Value Float64)").unwrap();
+        db.execute("INSERT INTO fm VALUES (1, -2.0), (2, 3.0), (3, -0.5)").unwrap();
+        let r = db.execute("UPDATE fm SET Value = 0 WHERE Value < 0").unwrap();
+        assert_eq!(r.rows_affected(), 2);
+        let out = db.execute("SELECT Value FROM fm ORDER BY id").unwrap();
+        assert_eq!(out.table().column(0).f64_at(0), 0.0);
+        assert_eq!(out.table().column(0).f64_at(1), 3.0);
+        assert_eq!(out.table().column(0).f64_at(2), 0.0);
+    }
+
+    #[test]
+    fn views_are_inlined() {
+        let db = db_with_data();
+        db.execute("CREATE VIEW heavy AS SELECT transID, meter FROM fabric WHERE meter > 4.0").unwrap();
+        let out = db.execute("SELECT count(*) FROM heavy").unwrap();
+        assert_eq!(out.table().column(0).i64_at(0), 2);
+        // Dropping and re-creating with different predicate changes results.
+        db.execute("DROP VIEW heavy").unwrap();
+        db.execute("CREATE VIEW heavy AS SELECT transID, meter FROM fabric WHERE meter > 2.0").unwrap();
+        let out = db.execute("SELECT count(*) FROM heavy").unwrap();
+        assert_eq!(out.table().column(0).i64_at(0), 4);
+    }
+
+    #[test]
+    fn udf_in_predicate_end_to_end() {
+        let db = db_with_data();
+        db.register_udf(ScalarUdf::new(
+            "is_even",
+            vec![DataType::Int64],
+            DataType::Bool,
+            |args| Ok(Value::Bool(args[0].as_i64()? % 2 == 0)),
+        ));
+        let out = db.execute("SELECT transID FROM fabric WHERE is_even(transID) = TRUE").unwrap();
+        assert_eq!(out.table().num_rows(), 2);
+    }
+
+    #[test]
+    fn derived_table_in_from() {
+        let db = db_with_data();
+        let out = db
+            .execute(
+                "SELECT t.patternID FROM (SELECT patternID, sum(meter) s FROM fabric GROUP BY patternID) t \
+                 WHERE t.s >= 4.0 ORDER BY t.patternID",
+            )
+            .unwrap();
+        assert_eq!(out.table().num_rows(), 2); // patterns 10 (12.5m) and 30 (4.0m)
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let db = db_with_data();
+        let out = db
+            .execute("SELECT patternID FROM fabric GROUP BY patternID HAVING count(*) > 1")
+            .unwrap();
+        assert_eq!(out.table().num_rows(), 1);
+        assert_eq!(out.table().column(0).i64_at(0), 10);
+    }
+
+    #[test]
+    fn limit_and_order() {
+        let db = db_with_data();
+        let out = db
+            .execute("SELECT transID FROM fabric ORDER BY meter DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(out.table().num_rows(), 2);
+        assert_eq!(out.table().column(0).i64_at(0), 2); // meter 7.5
+    }
+
+    #[test]
+    fn errors_are_reported_cleanly() {
+        let db = db_with_data();
+        assert!(matches!(db.execute("SELECT missing FROM fabric"), Err(Error::NotFound(_))));
+        assert!(matches!(db.execute("SELECT * FROM ghost"), Err(Error::NotFound(_))));
+        assert!(db.execute("SELECT sum(meter), transID FROM fabric").is_err());
+        assert!(matches!(db.execute("SELEC 1"), Err(Error::Parse { .. })));
+    }
+
+    #[test]
+    fn planner_rejects_malformed_queries() {
+        let db = db_with_data();
+        // Duplicate table binding.
+        assert!(db.execute("SELECT * FROM fabric f, video f").is_err());
+        // Aggregate in WHERE.
+        assert!(db.execute("SELECT transID FROM fabric WHERE sum(meter) > 1").is_err());
+        // Wildcard with GROUP BY.
+        assert!(db.execute("SELECT * FROM fabric GROUP BY patternID").is_err());
+        // Non-grouped column in an aggregate query.
+        assert!(db.execute("SELECT transID, sum(meter) FROM fabric GROUP BY patternID").is_err());
+        // Correlated subqueries are unsupported (outer column unresolvable).
+        assert!(db
+            .execute("SELECT transID FROM fabric f WHERE meter > (SELECT AVG(frame) FROM video v WHERE v.transID = f.transID)")
+            .is_err());
+    }
+
+    #[test]
+    fn scalar_subquery_shape_is_validated() {
+        let db = db_with_data();
+        // More than one row.
+        assert!(matches!(
+            db.execute("SELECT meter - (SELECT meter FROM fabric) AS d FROM fabric"),
+            Err(Error::Subquery(_))
+        ));
+        // More than one column.
+        assert!(matches!(
+            db.execute("SELECT meter - (SELECT meter, transID FROM fabric LIMIT 1) AS d FROM fabric"),
+            Err(Error::Subquery(_))
+        ));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let db = db_with_data();
+        let out = db.execute("SELECT count(DISTINCT patternID) FROM fabric").unwrap();
+        assert_eq!(out.table().column(0).i64_at(0), 3);
+    }
+
+    #[test]
+    fn explain_and_estimate() {
+        let db = db_with_data();
+        let plan = db
+            .explain("SELECT f.transID FROM fabric f, video v WHERE f.transID = v.transID and f.meter > 3.0")
+            .unwrap();
+        assert!(plan.contains("Join"), "{plan}");
+        let est = db
+            .estimate("SELECT f.transID FROM fabric f, video v WHERE f.transID = v.transID")
+            .unwrap();
+        assert!(est.rows >= 1.0);
+        assert!(est.cost > 0.0);
+    }
+
+    #[test]
+    fn select_distinct_deduplicates() {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (a Int64, b Int64); \
+             INSERT INTO t VALUES (1, 10), (1, 10), (2, 20), (1, 30);",
+        )
+        .unwrap();
+        let out = db.execute("SELECT DISTINCT a, b FROM t ORDER BY a, b").unwrap();
+        assert_eq!(out.table().num_rows(), 3);
+        let out = db.execute("SELECT DISTINCT a FROM t ORDER BY a").unwrap();
+        assert_eq!(out.table().num_rows(), 2);
+    }
+
+    #[test]
+    fn in_and_between_predicates() {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (v Int64); INSERT INTO t VALUES (1), (2), (3), (4), (5);",
+        )
+        .unwrap();
+        let c = |sql: &str| db.execute(sql).unwrap().table().column(0).i64_at(0);
+        assert_eq!(c("SELECT count(*) FROM t WHERE v IN (2, 4, 9)"), 2);
+        assert_eq!(c("SELECT count(*) FROM t WHERE v NOT IN (2, 4)"), 3);
+        assert_eq!(c("SELECT count(*) FROM t WHERE v BETWEEN 2 AND 4"), 3);
+        assert_eq!(c("SELECT count(*) FROM t WHERE v NOT BETWEEN 2 AND 4"), 2);
+        // BETWEEN binds tighter than AND.
+        assert_eq!(c("SELECT count(*) FROM t WHERE v BETWEEN 1 AND 3 AND v != 2"), 2);
+    }
+
+    #[test]
+    fn cross_join_without_equi_keys() {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE a (x Int64); CREATE TABLE b (y Int64); \
+             INSERT INTO a VALUES (1), (2); INSERT INTO b VALUES (10), (20), (30);",
+        )
+        .unwrap();
+        let out = db.execute("SELECT a.x, b.y FROM a, b WHERE a.x * 10 < b.y").unwrap();
+        // pairs: (1,20),(1,30),(2,30)
+        assert_eq!(out.table().num_rows(), 3);
+    }
+
+    #[test]
+    fn multi_key_sort_orders_lexicographically() {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (a Int64, b Int64); \
+             INSERT INTO t VALUES (2, 1), (1, 2), (1, 1), (2, 0);",
+        )
+        .unwrap();
+        let out = db.execute("SELECT a, b FROM t ORDER BY a ASC, b DESC").unwrap();
+        let rows: Vec<(i64, i64)> = (0..4)
+            .map(|r| (out.table().column(0).i64_at(r), out.table().column(1).i64_at(r)))
+            .collect();
+        assert_eq!(rows, vec![(1, 2), (1, 1), (2, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn mixed_type_join_keys_still_match() {
+        // Int64 join key meeting a Float64 key with integral values.
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE a (k Int64); CREATE TABLE b (k Float64); \
+             INSERT INTO a VALUES (1), (2), (3); INSERT INTO b VALUES (2.0), (3.0), (4.5);",
+        )
+        .unwrap();
+        let out = db.execute("SELECT a.k FROM a, b WHERE a.k = b.k ORDER BY a.k").unwrap();
+        assert_eq!(out.table().num_rows(), 2);
+        assert_eq!(out.table().column(0).i64_at(0), 2);
+        assert_eq!(out.table().column(0).i64_at(1), 3);
+    }
+
+    #[test]
+    fn explain_statement_returns_plan_rows() {
+        let db = db_with_data();
+        let out = db
+            .execute("EXPLAIN SELECT f.transID FROM fabric f, video v WHERE f.transID = v.transID")
+            .unwrap();
+        let rendered: Vec<String> = (0..out.table().num_rows())
+            .map(|r| out.table().column(0).value(r).to_string())
+            .collect();
+        assert!(rendered.iter().any(|l| l.contains("Join")), "{rendered:?}");
+    }
+
+    #[test]
+    fn create_index_statement_registers_an_index() {
+        let db = db_with_data();
+        db.execute("CREATE INDEX idx_trans ON fabric (transID)").unwrap();
+        assert!(db.catalog().index("fabric", "transID").is_some());
+        // Anonymous form too.
+        db.execute("CREATE INDEX ON video (transID)").unwrap();
+        assert!(db.catalog().index("video", "transID").is_some());
+    }
+
+    #[test]
+    fn multi_statement_script_runs_in_order() {
+        let db = Database::new();
+        let out = db
+            .execute_script(
+                "CREATE TABLE t (a Int64); INSERT INTO t VALUES (1), (2), (3); \
+                 SELECT sum(a) FROM t;",
+            )
+            .unwrap();
+        assert_eq!(out.table().column(0).i64_at(0), 6);
+    }
+}

@@ -1,0 +1,44 @@
+//! Engine-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The SQL text could not be tokenized or parsed. Carries the byte
+    /// offset of the offending token.
+    Parse { message: String, offset: usize },
+    /// A referenced table, view, column or function does not exist.
+    NotFound(String),
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// Types did not line up (e.g. `'abc' + 1`).
+    Type(String),
+    /// The query is structurally invalid (e.g. a non-aggregated column
+    /// outside GROUP BY).
+    Plan(String),
+    /// A runtime failure during execution (e.g. a UDF panic captured as an
+    /// error, or division by zero in integer context).
+    Exec(String),
+    /// A scalar subquery returned something other than one row/one column.
+    Subquery(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { message, offset } => write!(f, "parse error at byte {offset}: {message}"),
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::AlreadyExists(what) => write!(f, "already exists: {what}"),
+            Error::Type(msg) => write!(f, "type error: {msg}"),
+            Error::Plan(msg) => write!(f, "planning error: {msg}"),
+            Error::Exec(msg) => write!(f, "execution error: {msg}"),
+            Error::Subquery(msg) => write!(f, "scalar subquery error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,735 @@
+//! The vectorized executor.
+//!
+//! Fully materialized, operator-at-a-time execution over columnar tables.
+//! Every operator records its own wall time (children excluded) into the
+//! session [`Profiler`] — the data behind the paper's Fig. 10 clause
+//! breakdown.
+
+pub mod symmetric;
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::catalog::Catalog;
+use crate::column::{Column, Key};
+use crate::error::{Error, Result};
+use crate::expr::{BoundExpr, EvalContext};
+use crate::plan::logical::{AggExpr, AggFunc, JoinAlgorithm, LogicalPlan};
+use crate::profile::{OperatorKind, Profiler};
+use crate::table::{Schema, Table};
+use crate::udf::UdfRegistry;
+use crate::value::{DataType, Value};
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Rows per batch consumed alternately by the symmetric hash join.
+    pub symmetric_batch_rows: usize,
+    /// In-memory bucket budget of the symmetric hash join before the
+    /// bucket-level LRU starts evicting (paper Sec. IV-B rule 3).
+    pub symmetric_bucket_budget: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { symmetric_batch_rows: 1024, symmetric_bucket_budget: 1 << 16 }
+    }
+}
+
+/// Everything execution needs.
+pub struct ExecContext<'a> {
+    pub catalog: &'a Catalog,
+    pub udfs: &'a UdfRegistry,
+    pub profiler: &'a Profiler,
+    pub config: &'a ExecConfig,
+}
+
+impl<'a> ExecContext<'a> {
+    fn eval_ctx(&self) -> EvalContext<'a> {
+        EvalContext { udfs: self.udfs }
+    }
+}
+
+/// Executes a plan to a materialized table.
+pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            let start = Instant::now();
+            let t = ctx
+                .catalog
+                .table(table)
+                .ok_or_else(|| Error::NotFound(format!("table '{table}'")))?;
+            let out = (*t).clone();
+            ctx.profiler.record(OperatorKind::Scan, start.elapsed(), out.num_rows());
+            Ok(out)
+        }
+        LogicalPlan::Values { table } => Ok(table.clone()),
+        LogicalPlan::MultiJoin { .. } => Err(Error::Plan(
+            "MultiJoin reached the executor; run the optimizer first".into(),
+        )),
+        LogicalPlan::Filter { input, predicate } => {
+            let t = execute(input, ctx)?;
+            let start = Instant::now();
+            let mask_col = predicate.eval(&t, &ctx.eval_ctx())?;
+            let mask = mask_col.as_bool_slice()?;
+            let out = t.filter(mask);
+            let kind = if predicate.contains_udf() { OperatorKind::UdfEval } else { OperatorKind::Filter };
+            ctx.profiler.record(kind, start.elapsed(), out.num_rows());
+            Ok(out)
+        }
+        LogicalPlan::Project { input, exprs, schema } => {
+            let t = execute(input, ctx)?;
+            let start = Instant::now();
+            let cols: Vec<Column> = exprs
+                .iter()
+                .zip(schema.fields())
+                .map(|(e, f)| coerce_column(e.eval(&t, &ctx.eval_ctx())?, f.data_type))
+                .collect::<Result<_>>()?;
+            let out = Table::new(schema.clone(), cols)?;
+            ctx.profiler.record(OperatorKind::Project, start.elapsed(), out.num_rows());
+            Ok(out)
+        }
+        LogicalPlan::Join { left, right, keys, residual, algorithm, output, schema } => {
+            let lt = execute(left, ctx)?;
+            let rt = execute(right, ctx)?;
+            let start = Instant::now();
+            let out = match algorithm {
+                JoinAlgorithm::Hash => {
+                    hash_join(&lt, &rt, keys, residual.as_ref(), output.as_deref(), schema, ctx)?
+                }
+                JoinAlgorithm::SymmetricHash => symmetric::symmetric_hash_join(
+                    &lt,
+                    &rt,
+                    keys,
+                    residual.as_ref(),
+                    output.as_deref(),
+                    schema,
+                    ctx,
+                )?,
+            };
+            ctx.profiler.record(OperatorKind::Join, start.elapsed(), out.num_rows());
+            Ok(out)
+        }
+        LogicalPlan::Cross { left, right, schema } => {
+            let lt = execute(left, ctx)?;
+            let rt = execute(right, ctx)?;
+            let start = Instant::now();
+            let (ln, rn) = (lt.num_rows(), rt.num_rows());
+            let mut l_idx = Vec::with_capacity(ln * rn);
+            let mut r_idx = Vec::with_capacity(ln * rn);
+            for i in 0..ln {
+                for j in 0..rn {
+                    l_idx.push(i);
+                    r_idx.push(j);
+                }
+            }
+            let out = glue_join(&lt, &l_idx, &rt, &r_idx, None, None, schema, ctx)?;
+            ctx.profiler.record(OperatorKind::Join, start.elapsed(), out.num_rows());
+            Ok(out)
+        }
+        LogicalPlan::Aggregate { input, group, aggs, schema } => {
+            let t = execute(input, ctx)?;
+            let start = Instant::now();
+            let out = aggregate(&t, group, aggs, schema, ctx)?;
+            ctx.profiler.record(OperatorKind::GroupBy, start.elapsed(), out.num_rows());
+            Ok(out)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let t = execute(input, ctx)?;
+            let start = Instant::now();
+            let key_cols: Vec<(Column, bool)> = keys
+                .iter()
+                .map(|(e, asc)| Ok((e.eval(&t, &ctx.eval_ctx())?, *asc)))
+                .collect::<Result<_>>()?;
+            let mut idx: Vec<usize> = (0..t.num_rows()).collect();
+            idx.sort_by(|&a, &b| {
+                for (col, asc) in &key_cols {
+                    let ord = col.value(a).total_cmp(&col.value(b));
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let out = t.take(&idx);
+            ctx.profiler.record(OperatorKind::Sort, start.elapsed(), out.num_rows());
+            Ok(out)
+        }
+        LogicalPlan::Limit { input, n } => {
+            let t = execute(input, ctx)?;
+            let start = Instant::now();
+            let keep = (*n as usize).min(t.num_rows());
+            let idx: Vec<usize> = (0..keep).collect();
+            let out = t.take(&idx);
+            ctx.profiler.record(OperatorKind::Limit, start.elapsed(), out.num_rows());
+            Ok(out)
+        }
+    }
+}
+
+/// Coerces a column to the declared type where lossless (Int64 -> Float64
+/// and integral Float64 -> Int64); errors otherwise.
+fn coerce_column(col: Column, target: DataType) -> Result<Column> {
+    if col.data_type() == target {
+        return Ok(col);
+    }
+    match (&col, target) {
+        (Column::Int64(v), DataType::Float64) => {
+            Ok(Column::Float64(v.iter().map(|&x| x as f64).collect()))
+        }
+        (Column::Float64(v), DataType::Int64) if v.iter().all(|x| x.fract() == 0.0) => {
+            Ok(Column::Int64(v.iter().map(|&x| x as i64).collect()))
+        }
+        _ => Err(Error::Type(format!(
+            "cannot coerce {} column to {}",
+            col.data_type(),
+            target
+        ))),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the Join node's fields
+/// Combines matched row indices from both sides into the output table,
+/// gathering only the columns in `output` (all when `None`), and applies
+/// the residual predicate afterwards. A residual referencing a masked-out
+/// column forces a full gather first.
+pub(crate) fn glue_join(
+    lt: &Table,
+    l_idx: &[usize],
+    rt: &Table,
+    r_idx: &[usize],
+    residual: Option<&BoundExpr>,
+    output: Option<&[usize]>,
+    schema: &Schema,
+    ctx: &ExecContext<'_>,
+) -> Result<Table> {
+    let l_width = lt.num_columns();
+    let gather = |col: usize| -> Column {
+        if col < l_width {
+            lt.column(col).take(l_idx)
+        } else {
+            rt.column(col - l_width).take(r_idx)
+        }
+    };
+    match (output, residual) {
+        (None, residual) => {
+            let cols: Vec<Column> = (0..l_width + rt.num_columns()).map(gather).collect();
+            let out = Table::new(schema.clone(), cols)?;
+            apply_residual(out, residual, ctx)
+        }
+        (Some(mask), None) => {
+            let cols: Vec<Column> = mask.iter().map(|&c| gather(c)).collect();
+            Table::new(schema.clone(), cols)
+        }
+        (Some(mask), Some(res)) => {
+            // Gather the masked columns plus whatever the residual needs,
+            // filter, then drop the extras.
+            let mut cols_needed: Vec<usize> = mask.to_vec();
+            for c in res.referenced_columns() {
+                if !cols_needed.contains(&c) {
+                    cols_needed.push(c);
+                }
+            }
+            let mut fields: Vec<crate::table::Field> = schema.fields().to_vec();
+            let all_fields: Vec<crate::table::Field> = lt
+                .schema()
+                .fields()
+                .iter()
+                .chain(rt.schema().fields())
+                .cloned()
+                .collect();
+            for &c in &cols_needed[mask.len()..] {
+                fields.push(all_fields[c].clone());
+            }
+            let cols: Vec<Column> = cols_needed.iter().map(|&c| gather(c)).collect();
+            let wide = Table::new(Schema::new(fields), cols)?;
+            // Remap the residual onto the gathered layout.
+            let mut remapped = res.clone();
+            let mut map = vec![usize::MAX; l_width + rt.num_columns()];
+            for (pos, &c) in cols_needed.iter().enumerate() {
+                map[c] = pos;
+            }
+            remapped.remap_columns(&map);
+            let filtered = apply_residual(wide, Some(&remapped), ctx)?;
+            let cols: Vec<Column> = (0..mask.len()).map(|i| filtered.column(i).clone()).collect();
+            Table::new(schema.clone(), cols)
+        }
+    }
+}
+
+/// Multi-key hash keys for a row set.
+pub(crate) fn composite_keys(table: &Table, exprs: &[BoundExpr], ctx: &ExecContext<'_>) -> Result<Vec<Vec<Key>>> {
+    let cols: Vec<Column> = exprs
+        .iter()
+        .map(|e| e.eval(table, &ctx.eval_ctx()))
+        .collect::<Result<_>>()?;
+    let n = table.num_rows();
+    let mut out = Vec::with_capacity(n);
+    for row in 0..n {
+        out.push(cols.iter().map(|c| c.value(row).to_key()).collect());
+    }
+    Ok(out)
+}
+
+pub(crate) fn apply_residual(
+    out: Table,
+    residual: Option<&BoundExpr>,
+    ctx: &ExecContext<'_>,
+) -> Result<Table> {
+    match residual {
+        None => Ok(out),
+        Some(pred) => {
+            let mask_col = pred.eval(&out, &ctx.eval_ctx())?;
+            let mask = mask_col.as_bool_slice()?;
+            Ok(out.filter(mask))
+        }
+    }
+}
+
+/// Evaluated join-key columns with an allocation-free fast path: up to two
+/// integer key columns pack into one `i128`.
+enum JoinKeys {
+    /// Packed integer keys (covers the DL2SQL workload's joins).
+    Packed(Vec<i128>),
+    /// At least one non-integer key column: the join recomputes general
+    /// composite keys for both sides.
+    General,
+}
+
+fn join_keys(table: &Table, exprs: &[BoundExpr], ctx: &ExecContext<'_>) -> Result<JoinKeys> {
+    let cols: Vec<Column> = exprs
+        .iter()
+        .map(|e| e.eval(table, &ctx.eval_ctx()))
+        .collect::<Result<_>>()?;
+    let ints: Option<Vec<&Vec<i64>>> = cols
+        .iter()
+        .map(|c| match c {
+            Column::Int64(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    if let Some(ints) = ints {
+        if ints.len() == 1 {
+            return Ok(JoinKeys::Packed(ints[0].iter().map(|&a| a as i128).collect()));
+        }
+        if ints.len() == 2 {
+            let packed = ints[0]
+                .iter()
+                .zip(ints[1].iter())
+                .map(|(&a, &b)| ((a as i128) << 64) | (b as u64 as i128))
+                .collect();
+            return Ok(JoinKeys::Packed(packed));
+        }
+    }
+    Ok(JoinKeys::General)
+}
+
+fn hash_join(
+    lt: &Table,
+    rt: &Table,
+    keys: &[(BoundExpr, BoundExpr)],
+    residual: Option<&BoundExpr>,
+    output: Option<&[usize]>,
+    schema: &Schema,
+    ctx: &ExecContext<'_>,
+) -> Result<Table> {
+    let l_keys: Vec<BoundExpr> = keys.iter().map(|(l, _)| l.clone()).collect();
+    let r_keys: Vec<BoundExpr> = keys.iter().map(|(_, r)| r.clone()).collect();
+    let lk = join_keys(lt, &l_keys, ctx)?;
+    let rk = join_keys(rt, &r_keys, ctx)?;
+
+    // Build on the smaller side.
+    let build_left = lt.num_rows() <= rt.num_rows();
+    let mut l_idx = Vec::new();
+    let mut r_idx = Vec::new();
+    let mut emit = |build_row: usize, probe_row: usize| {
+        if build_left {
+            l_idx.push(build_row);
+            r_idx.push(probe_row);
+        } else {
+            l_idx.push(probe_row);
+            r_idx.push(build_row);
+        }
+    };
+    match (&lk, &rk) {
+        (JoinKeys::Packed(l), JoinKeys::Packed(r)) => {
+            let (build, probe) = if build_left { (l, r) } else { (r, l) };
+            let mut table: HashMap<i128, Vec<usize>> = HashMap::with_capacity(build.len());
+            for (row, &k) in build.iter().enumerate() {
+                table.entry(k).or_default().push(row);
+            }
+            for (probe_row, k) in probe.iter().enumerate() {
+                if let Some(matches) = table.get(k) {
+                    for &build_row in matches {
+                        emit(build_row, probe_row);
+                    }
+                }
+            }
+        }
+        _ => {
+            // At least one side has non-integer keys: use general keys for
+            // both (recomputed, so Int64↔Float64 equality unifies through
+            // `Value::to_key`).
+            let lg = composite_keys(lt, &l_keys, ctx)?;
+            let rg = composite_keys(rt, &r_keys, ctx)?;
+            let (build, probe) = if build_left { (&lg, &rg) } else { (&rg, &lg) };
+            let mut table: HashMap<&[Key], Vec<usize>> = HashMap::with_capacity(build.len());
+            for (row, k) in build.iter().enumerate() {
+                table.entry(k.as_slice()).or_default().push(row);
+            }
+            for (probe_row, k) in probe.iter().enumerate() {
+                if let Some(matches) = table.get(k.as_slice()) {
+                    for &build_row in matches {
+                        emit(build_row, probe_row);
+                    }
+                }
+            }
+        }
+    }
+    glue_join(lt, &l_idx, rt, &r_idx, residual, output, schema, ctx)
+}
+
+// ---------------------------------------------------------------------------
+// aggregation
+// ---------------------------------------------------------------------------
+
+enum Acc {
+    Count(i64),
+    CountDistinct(std::collections::HashSet<Key>),
+    SumI(i64),
+    SumF(f64),
+    Avg { sum: f64, n: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    /// Welford accumulator for the sample standard deviation.
+    Std { n: u64, mean: f64, m2: f64 },
+}
+
+impl Acc {
+    fn new(agg: &AggExpr, arg_type: Option<DataType>) -> Acc {
+        match agg.func {
+            AggFunc::Count if agg.distinct => Acc::CountDistinct(Default::default()),
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => {
+                if arg_type == Some(DataType::Int64) {
+                    Acc::SumI(0)
+                } else {
+                    Acc::SumF(0.0)
+                }
+            }
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::StddevSamp => Acc::Std { n: 0, mean: 0.0, m2: 0.0 },
+        }
+    }
+
+    fn update(&mut self, value: Option<&Value>) -> Result<()> {
+        match self {
+            Acc::Count(c) => {
+                // COUNT(*) counts rows; COUNT(bool_expr) counts trues.
+                let add = match value {
+                    None => 1,
+                    Some(Value::Bool(b)) => *b as i64,
+                    Some(_) => 1,
+                };
+                *c += add;
+            }
+            Acc::CountDistinct(set) => {
+                if let Some(v) = value {
+                    set.insert(v.to_key());
+                }
+            }
+            Acc::SumI(s) => *s += value.expect("SUM has an argument").as_i64()?,
+            Acc::SumF(s) => *s += value.expect("SUM has an argument").as_f64()?,
+            Acc::Avg { sum, n } => {
+                *sum += value.expect("AVG has an argument").as_f64()?;
+                *n += 1;
+            }
+            Acc::Min(cur) => {
+                let v = value.expect("MIN has an argument");
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_lt()) {
+                    *cur = Some(v.clone());
+                }
+            }
+            Acc::Max(cur) => {
+                let v = value.expect("MAX has an argument");
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_gt()) {
+                    *cur = Some(v.clone());
+                }
+            }
+            Acc::Std { n, mean, m2 } => {
+                let x = value.expect("stddevSamp has an argument").as_f64()?;
+                *n += 1;
+                let delta = x - *mean;
+                *mean += delta / *n as f64;
+                *m2 += delta * (x - *mean);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self, output_type: DataType) -> Value {
+        match self {
+            Acc::Count(c) => Value::Int64(*c),
+            Acc::CountDistinct(set) => Value::Int64(set.len() as i64),
+            Acc::SumI(s) => Value::Int64(*s),
+            Acc::SumF(s) => Value::Float64(*s),
+            Acc::Avg { sum, n } => Value::Float64(if *n == 0 { 0.0 } else { sum / *n as f64 }),
+            Acc::Min(v) | Acc::Max(v) => v.clone().unwrap_or(zero_of(output_type)),
+            Acc::Std { n, m2, .. } => {
+                Value::Float64(if *n < 2 { 0.0 } else { (m2 / (*n as f64 - 1.0)).sqrt() })
+            }
+        }
+    }
+}
+
+/// The zero value MIN/MAX return over empty input (ClickHouse-style; the
+/// engine has no NULLs).
+fn zero_of(dt: DataType) -> Value {
+    match dt {
+        DataType::Int64 => Value::Int64(0),
+        DataType::Float64 => Value::Float64(0.0),
+        DataType::Bool => Value::Bool(false),
+        DataType::Utf8 => Value::Utf8(String::new()),
+        DataType::Date => Value::Date(0),
+        DataType::Blob => Value::Blob(std::sync::Arc::new(Vec::new())),
+    }
+}
+
+fn aggregate(
+    t: &Table,
+    group: &[BoundExpr],
+    aggs: &[AggExpr],
+    schema: &Schema,
+    ctx: &ExecContext<'_>,
+) -> Result<Table> {
+    let n = t.num_rows();
+    let key_cols: Vec<Column> = group
+        .iter()
+        .map(|e| e.eval(t, &ctx.eval_ctx()))
+        .collect::<Result<_>>()?;
+    let arg_cols: Vec<Option<Column>> = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| e.eval(t, &ctx.eval_ctx())).transpose())
+        .collect::<Result<_>>()?;
+
+    // Group id per row.
+    #[allow(clippy::needless_range_loop)] // row drives parallel key/arg columns
+    let mut ids: HashMap<Vec<Key>, usize> = HashMap::new();
+    let mut group_first_row: Vec<usize> = Vec::new();
+    let mut row_group: Vec<usize> = Vec::with_capacity(n);
+    #[allow(clippy::needless_range_loop)] // row drives parallel key/arg columns
+    for row in 0..n {
+        let key: Vec<Key> = key_cols.iter().map(|c| c.value(row).to_key()).collect();
+        let next = group_first_row.len();
+        let id = *ids.entry(key).or_insert_with(|| {
+            group_first_row.push(row);
+            next
+        });
+        row_group.push(id);
+    }
+    // Global aggregate: exactly one group even with zero input rows.
+    let n_groups = if group.is_empty() { 1.max(group_first_row.len()) } else { group_first_row.len() };
+
+    // Accumulate.
+    let mut accs: Vec<Vec<Acc>> = (0..n_groups)
+        .map(|_| {
+            aggs.iter()
+                .zip(&arg_cols)
+                .map(|(a, c)| Acc::new(a, c.as_ref().map(Column::data_type)))
+                .collect()
+        })
+        .collect();
+    #[allow(clippy::needless_range_loop)] // row drives parallel column reads
+    for row in 0..n {
+        let g = if group.is_empty() { 0 } else { row_group[row] };
+        for (ai, col) in arg_cols.iter().enumerate() {
+            let v = col.as_ref().map(|c| c.value(row));
+            accs[g][ai].update(v.as_ref())?;
+        }
+    }
+
+    // Emit.
+    #[allow(clippy::needless_range_loop)]
+    let mut cols: Vec<Column> = schema.fields().iter().map(|f| Column::empty(f.data_type)).collect();
+    #[allow(clippy::needless_range_loop)] // g indexes accumulators and first-row table
+    for g in 0..n_groups {
+        for (ki, kc) in key_cols.iter().enumerate() {
+            let row = *group_first_row.get(g).unwrap_or(&0);
+            cols[ki].push(kc.value(row))?;
+        }
+        for (ai, acc) in accs[g].iter().enumerate() {
+            let field = schema.field(group.len() + ai);
+            cols[group.len() + ai].push(acc.finish(field.data_type))?;
+        }
+    }
+    Table::new(schema.clone(), cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Field;
+
+    fn ctx_parts() -> (Catalog, UdfRegistry, Profiler, ExecConfig) {
+        (Catalog::new(), UdfRegistry::new(), Profiler::new(), ExecConfig::default())
+    }
+
+    fn sample_table() -> Table {
+        Table::new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
+            vec![
+                Column::Int64(vec![1, 2, 1, 2, 3]),
+                Column::Float64(vec![10.0, 20.0, 30.0, 40.0, 50.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_executes_mask() {
+        let (catalog, udfs, profiler, config) = ctx_parts();
+        catalog.create_table("t", sample_table(), false).unwrap();
+        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan { table: "t".into(), schema: sample_table().schema().clone() }),
+            predicate: BoundExpr::Binary {
+                left: Box::new(BoundExpr::Column(0)),
+                op: crate::sql::ast::BinOp::Eq,
+                right: Box::new(BoundExpr::Literal(Value::Int64(1))),
+            },
+        };
+        let out = execute(&plan, &ctx).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        // Profiler saw a scan and a filter.
+        let kinds: Vec<_> = profiler.snapshot().iter().map(|(k, _)| *k).collect();
+        assert!(kinds.contains(&OperatorKind::Scan));
+        assert!(kinds.contains(&OperatorKind::Filter));
+    }
+
+    #[test]
+    fn hash_join_matches_pairs() {
+        let (catalog, udfs, profiler, config) = ctx_parts();
+        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let lt = sample_table();
+        let rt = Table::new(
+            Schema::new(vec![Field::new("k2", DataType::Int64), Field::new("name", DataType::Utf8)]),
+            vec![
+                Column::Int64(vec![1, 3]),
+                Column::Utf8(vec!["one".into(), "three".into()]),
+            ],
+        )
+        .unwrap();
+        let schema = Schema::new(
+            lt.schema().fields().iter().chain(rt.schema().fields()).cloned().collect(),
+        );
+        let out = hash_join(
+            &lt,
+            &rt,
+            &[(BoundExpr::Column(0), BoundExpr::Column(0))],
+            None,
+            None,
+            &schema,
+            &ctx,
+        )
+        .unwrap();
+        // k=1 matches twice, k=3 once.
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let (catalog, udfs, profiler, config) = ctx_parts();
+        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let t = sample_table();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("s", DataType::Float64),
+            Field::new("c", DataType::Int64),
+        ]);
+        let out = aggregate(
+            &t,
+            &[BoundExpr::Column(0)],
+            &[
+                AggExpr { func: AggFunc::Sum, arg: Some(BoundExpr::Column(1)), distinct: false, output_name: "s".into() },
+                AggExpr { func: AggFunc::Count, arg: None, distinct: false, output_name: "c".into() },
+            ],
+            &schema,
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 3);
+        // Group 1 -> 40.0 over 2 rows.
+        let k = out.column(0);
+        let s = out.column(1);
+        let c = out.column(2);
+        let pos = (0..3).find(|&i| k.i64_at(i) == 1).unwrap();
+        assert_eq!(s.f64_at(pos), 40.0);
+        assert_eq!(c.i64_at(pos), 2);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let (catalog, udfs, profiler, config) = ctx_parts();
+        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let t = Table::empty(sample_table().schema().clone());
+        let schema = Schema::new(vec![Field::new("c", DataType::Int64)]);
+        let out = aggregate(
+            &t,
+            &[],
+            &[AggExpr { func: AggFunc::Count, arg: None, distinct: false, output_name: "c".into() }],
+            &schema,
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column(0).i64_at(0), 0);
+    }
+
+    #[test]
+    fn count_of_boolean_counts_trues() {
+        let (catalog, udfs, profiler, config) = ctx_parts();
+        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let t = Table::new(
+            Schema::new(vec![Field::new("b", DataType::Bool)]),
+            vec![Column::Bool(vec![true, false, true, true])],
+        )
+        .unwrap();
+        let schema = Schema::new(vec![Field::new("c", DataType::Int64)]);
+        let out = aggregate(
+            &t,
+            &[],
+            &[AggExpr { func: AggFunc::Count, arg: Some(BoundExpr::Column(0)), distinct: false, output_name: "c".into() }],
+            &schema,
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(out.column(0).i64_at(0), 3);
+    }
+
+    #[test]
+    fn stddev_samp_matches_definition() {
+        let (catalog, udfs, profiler, config) = ctx_parts();
+        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let t = Table::new(
+            Schema::new(vec![Field::new("v", DataType::Float64)]),
+            vec![Column::Float64(vec![1.0, 2.0, 3.0])],
+        )
+        .unwrap();
+        let schema = Schema::new(vec![Field::new("s", DataType::Float64)]);
+        let out = aggregate(
+            &t,
+            &[],
+            &[AggExpr { func: AggFunc::StddevSamp, arg: Some(BoundExpr::Column(0)), distinct: false, output_name: "s".into() }],
+            &schema,
+            &ctx,
+        )
+        .unwrap();
+        assert!((out.column(0).f64_at(0) - 1.0).abs() < 1e-9);
+    }
+}

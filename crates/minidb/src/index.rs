@@ -1,0 +1,88 @@
+//! Hash indices.
+//!
+//! The paper builds indices on `MatrixID`, `OrderID` and `KernelID` to
+//! speed up the feature-map/kernel joins. A [`HashIndex`] maps each
+//! distinct key of one column to the row ids holding it; the executor uses
+//! it for equality filters and as a pre-built hash-join build side.
+
+use std::collections::HashMap;
+
+use crate::column::Key;
+use crate::error::Result;
+use crate::table::Table;
+
+/// A hash index over a single column of a table snapshot.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    /// Indexed column name.
+    pub column: String,
+    map: HashMap<Key, Vec<u32>>,
+    rows: usize,
+}
+
+impl HashIndex {
+    /// Builds an index over `column` of `table`.
+    pub fn build(table: &Table, column: &str) -> Result<Self> {
+        let col = table.column_by_name(column)?;
+        let mut map: HashMap<Key, Vec<u32>> = HashMap::new();
+        for row in 0..col.len() {
+            map.entry(col.value(row).to_key()).or_default().push(row as u32);
+        }
+        Ok(HashIndex { column: column.to_string(), map, rows: col.len() })
+    }
+
+    /// Row ids whose indexed column equals `key`.
+    pub fn lookup(&self, key: &Key) -> &[u32] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of rows the index was built over. The executor uses this to
+    /// detect stale indices after a table was replaced.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::table::{Field, Schema};
+    use crate::value::{DataType, Value};
+
+    fn table() -> Table {
+        Table::new(
+            Schema::new(vec![Field::new("k", DataType::Int64), Field::new("v", DataType::Utf8)]),
+            vec![
+                Column::Int64(vec![1, 2, 1, 3]),
+                Column::Utf8(vec!["a".into(), "b".into(), "c".into(), "d".into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_returns_all_matching_rows() {
+        let idx = HashIndex::build(&table(), "k").unwrap();
+        assert_eq!(idx.lookup(&Value::Int64(1).to_key()), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::Int64(3).to_key()), &[3]);
+        assert!(idx.lookup(&Value::Int64(9).to_key()).is_empty());
+    }
+
+    #[test]
+    fn distinct_key_count() {
+        let idx = HashIndex::build(&table(), "k").unwrap();
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.rows(), 4);
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        assert!(HashIndex::build(&table(), "zzz").is_err());
+    }
+}

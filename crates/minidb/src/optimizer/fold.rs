@@ -1,0 +1,108 @@
+//! Constant folding over a plan's expressions.
+
+use crate::expr::{BoundExpr, EvalContext};
+use crate::plan::logical::LogicalPlan;
+use crate::udf::UdfRegistry;
+
+/// Folds constant subexpressions in every node of the plan.
+pub fn fold_plan_constants(plan: LogicalPlan, udfs: &UdfRegistry) -> LogicalPlan {
+    let ctx = EvalContext { udfs };
+    fold(plan, &ctx)
+}
+
+fn fold_vec(exprs: Vec<BoundExpr>, ctx: &EvalContext<'_>) -> Vec<BoundExpr> {
+    exprs.into_iter().map(|e| e.fold_constants(ctx)).collect()
+}
+
+fn fold(plan: LogicalPlan, ctx: &EvalContext<'_>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(fold(*input, ctx)),
+            predicate: predicate.fold_constants(ctx),
+        },
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(fold(*input, ctx)),
+            exprs: fold_vec(exprs, ctx),
+            schema,
+        },
+        LogicalPlan::Join { left, right, keys, residual, algorithm, output, schema } => {
+            LogicalPlan::Join {
+                left: Box::new(fold(*left, ctx)),
+                right: Box::new(fold(*right, ctx)),
+                keys: keys
+                    .into_iter()
+                    .map(|(l, r)| (l.fold_constants(ctx), r.fold_constants(ctx)))
+                    .collect(),
+                residual: residual.map(|r| r.fold_constants(ctx)),
+                algorithm,
+                output,
+                schema,
+            }
+        }
+        LogicalPlan::Cross { left, right, schema } => LogicalPlan::Cross {
+            left: Box::new(fold(*left, ctx)),
+            right: Box::new(fold(*right, ctx)),
+            schema,
+        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(fold(*input, ctx)),
+            group: fold_vec(group, ctx),
+            aggs: aggs
+                .into_iter()
+                .map(|mut a| {
+                    a.arg = a.arg.map(|e| e.fold_constants(ctx));
+                    a
+                })
+                .collect(),
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(fold(*input, ctx)),
+            keys: keys
+                .into_iter()
+                .map(|(k, asc)| (k.fold_constants(ctx), asc))
+                .collect(),
+        },
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(fold(*input, ctx)), n }
+        }
+        LogicalPlan::MultiJoin { inputs, predicates, schema } => LogicalPlan::MultiJoin {
+            inputs: inputs.into_iter().map(|i| fold(i, ctx)).collect(),
+            predicates: fold_vec(predicates, ctx),
+            schema,
+        },
+        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Values { .. }) => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::ast::BinOp;
+    use crate::table::{Field, Schema};
+    use crate::value::{DataType, Value};
+
+    #[test]
+    fn filter_predicates_fold() {
+        let udfs = UdfRegistry::new();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan {
+                table: "t".into(),
+                schema: Schema::new(vec![Field::new("a", DataType::Int64)]),
+            }),
+            predicate: BoundExpr::Binary {
+                left: Box::new(BoundExpr::Column(0)),
+                op: BinOp::Gt,
+                right: Box::new(BoundExpr::Binary {
+                    left: Box::new(BoundExpr::Literal(Value::Float64(100.0))),
+                    op: BinOp::Sub,
+                    right: Box::new(BoundExpr::Literal(Value::Float64(25.0))),
+                }),
+            },
+        };
+        let folded = fold_plan_constants(plan, &udfs);
+        let LogicalPlan::Filter { predicate, .. } = folded else { panic!() };
+        let BoundExpr::Binary { right, .. } = predicate else { panic!() };
+        assert_eq!(*right, BoundExpr::Literal(Value::Float64(75.0)));
+    }
+}

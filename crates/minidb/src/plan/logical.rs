@@ -1,0 +1,247 @@
+//! The logical plan tree produced by the planner and consumed by the
+//! optimizer and executor.
+//!
+//! Expressions inside a node are [`BoundExpr`]s whose column indices refer
+//! to the node's *input* schema (for [`LogicalPlan::MultiJoin`], the
+//! concatenation of all input schemas in order).
+
+use std::fmt;
+
+use crate::expr::BoundExpr;
+use crate::table::Schema;
+
+/// Aggregate functions supported by the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(expr)`. Over a boolean argument this counts
+    /// `true` rows (the paper's `count(nUDF_detect(k)=TRUE)` relies on
+    /// conditional counting; with no NULLs in the engine this is the only
+    /// useful reading).
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Sample standard deviation — ClickHouse's `stddevSamp`, used by the
+    /// paper's batch-normalization SQL (query Q4).
+    StddevSamp,
+}
+
+impl AggFunc {
+    /// Resolves an aggregate by case-insensitive SQL name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" | "mean" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "stddevsamp" | "stddev_samp" | "stddev" => AggFunc::StddevSamp,
+            _ => return None,
+        })
+    }
+}
+
+/// One aggregate computation within an Aggregate node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    /// `None` for `COUNT(*)`.
+    pub arg: Option<BoundExpr>,
+    pub distinct: bool,
+    /// Output column name.
+    pub output_name: String,
+}
+
+/// Which physical join implementation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinAlgorithm {
+    /// Classic build/probe hash join.
+    #[default]
+    Hash,
+    /// Symmetric hash join with bucket-level LRU buffering (paper
+    /// Sec. IV-B, rule 3 — used when an nUDF appears in the join
+    /// condition).
+    SymmetricHash,
+}
+
+/// A logical (and, after optimization, physical-ready) plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table scan (views are inlined by the planner).
+    Scan { table: String, schema: Schema },
+    /// An already-materialized table (used for inline data and tests).
+    Values { table: crate::table::Table },
+    /// N-ary join not yet lowered: the planner emits this for the whole
+    /// FROM clause; the optimizer turns it into a `Join`/`Filter` tree.
+    /// `predicates` are bound over the concatenation of input schemas.
+    MultiJoin {
+        inputs: Vec<LogicalPlan>,
+        predicates: Vec<BoundExpr>,
+        schema: Schema,
+    },
+    /// Row filter.
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: BoundExpr,
+    },
+    /// Column projection/computation.
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<BoundExpr>,
+        schema: Schema,
+    },
+    /// Binary equi join (keys) with optional residual predicate bound over
+    /// `left ++ right` columns. `output`, when set, selects which of the
+    /// `left ++ right` columns the join materializes (column pruning
+    /// through joins); `schema` describes the masked output.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        keys: Vec<(BoundExpr, BoundExpr)>,
+        residual: Option<BoundExpr>,
+        algorithm: JoinAlgorithm,
+        output: Option<Vec<usize>>,
+        schema: Schema,
+    },
+    /// Cartesian product (only when no equi keys exist).
+    Cross {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        schema: Schema,
+    },
+    /// Hash aggregation. Output schema: group keys then aggregates.
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        schema: Schema,
+    },
+    /// Sort by key expressions (bound over the input schema), each with an
+    /// ascending flag.
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<(BoundExpr, bool)>,
+    },
+    /// Row-count limit.
+    Limit { input: Box<LogicalPlan>, n: u64 },
+}
+
+impl LogicalPlan {
+    /// The node's output schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            LogicalPlan::Scan { schema, .. } => schema,
+            LogicalPlan::Values { table } => table.schema(),
+            LogicalPlan::MultiJoin { schema, .. } => schema,
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Project { schema, .. } => schema,
+            LogicalPlan::Join { schema, .. } => schema,
+            LogicalPlan::Cross { schema, .. } => schema,
+            LogicalPlan::Aggregate { schema, .. } => schema,
+            LogicalPlan::Sort { input, .. } => input.schema(),
+            LogicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Child nodes.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => vec![],
+            LogicalPlan::MultiJoin { inputs, .. } => inputs.iter().collect(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Cross { left, right, .. } => {
+                vec![left, right]
+            }
+        }
+    }
+
+    /// Whether the subtree contains a node matching `pred`.
+    pub fn any_node(&self, pred: &impl Fn(&LogicalPlan) -> bool) -> bool {
+        pred(self) || self.children().iter().any(|c| c.any_node(pred))
+    }
+
+    /// Pretty multi-line rendering (EXPLAIN-style).
+    pub fn display_indent(&self) -> String {
+        let mut out = String::new();
+        self.fmt_indent(&mut out, 0);
+        out
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let line = match self {
+            LogicalPlan::Scan { table, .. } => format!("Scan: {table}"),
+            LogicalPlan::Values { table } => format!("Values: {} rows", table.num_rows()),
+            LogicalPlan::MultiJoin { predicates, .. } => {
+                format!("MultiJoin: {} predicates", predicates.len())
+            }
+            LogicalPlan::Filter { predicate, .. } => format!("Filter: {predicate:?}"),
+            LogicalPlan::Project { exprs, .. } => format!("Project: {} exprs", exprs.len()),
+            LogicalPlan::Join { keys, algorithm, .. } => {
+                format!("Join[{algorithm:?}]: {} keys", keys.len())
+            }
+            LogicalPlan::Cross { .. } => "CrossJoin".to_string(),
+            LogicalPlan::Aggregate { group, aggs, .. } => {
+                format!("Aggregate: {} groups, {} aggs", group.len(), aggs.len())
+            }
+            LogicalPlan::Sort { keys, .. } => format!("Sort: {} keys", keys.len()),
+            LogicalPlan::Limit { n, .. } => format!("Limit: {n}"),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        for c in self.children() {
+            c.fmt_indent(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_indent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Field;
+    use crate::value::DataType;
+
+    fn scan(name: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: name.into(),
+            schema: Schema::new(vec![Field::new("a", DataType::Int64)]),
+        }
+    }
+
+    #[test]
+    fn agg_func_names() {
+        assert_eq!(AggFunc::from_name("SUM"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("stddevSamp"), Some(AggFunc::StddevSamp));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+
+    #[test]
+    fn any_node_walks_tree() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan("t")),
+            predicate: BoundExpr::Literal(crate::value::Value::Bool(true)),
+        };
+        assert!(plan.any_node(&|p| matches!(p, LogicalPlan::Scan { .. })));
+        assert!(!plan.any_node(&|p| matches!(p, LogicalPlan::Limit { .. })));
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        let plan = LogicalPlan::Limit { input: Box::new(scan("t")), n: 3 };
+        let s = plan.to_string();
+        assert!(s.contains("Limit: 3"));
+        assert!(s.contains("Scan: t"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Logical plans and the query planner.
+
+pub mod logical;
+pub mod planner;
+
+pub use logical::{AggExpr, AggFunc, JoinAlgorithm, LogicalPlan};
+pub use planner::{Planner, SubqueryRunner};

@@ -1,0 +1,126 @@
+//! Per-operator execution timing.
+//!
+//! Paper Fig. 10 breaks a DL2SQL run down by relational clause (Join,
+//! GroupBy, Filter, ...). The executor feeds a [`Profiler`] with one timing
+//! record per operator invocation; harnesses snapshot it per layer/run.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// The operator categories reported by paper Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OperatorKind {
+    Scan,
+    Filter,
+    Project,
+    Join,
+    GroupBy,
+    Sort,
+    Limit,
+    Update,
+    Insert,
+    CreateTable,
+    UdfEval,
+}
+
+impl OperatorKind {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OperatorKind::Scan => "Scan",
+            OperatorKind::Filter => "Filter",
+            OperatorKind::Project => "Project",
+            OperatorKind::Join => "Join",
+            OperatorKind::GroupBy => "GroupBy",
+            OperatorKind::Sort => "Sort",
+            OperatorKind::Limit => "Limit",
+            OperatorKind::Update => "Update",
+            OperatorKind::Insert => "Insert",
+            OperatorKind::CreateTable => "CreateTable",
+            OperatorKind::UdfEval => "UdfEval",
+        }
+    }
+}
+
+/// Accumulated time and invocation count for one operator kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperatorStats {
+    pub total: Duration,
+    pub invocations: u64,
+    pub rows_out: u64,
+}
+
+/// Thread-safe timing accumulator.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    map: Mutex<HashMap<OperatorKind, OperatorStats>>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Records one operator invocation.
+    pub fn record(&self, kind: OperatorKind, elapsed: Duration, rows_out: usize) {
+        let mut map = self.map.lock();
+        let e = map.entry(kind).or_default();
+        e.total += elapsed;
+        e.invocations += 1;
+        e.rows_out += rows_out as u64;
+    }
+
+    /// A snapshot of all accumulated stats, sorted by kind.
+    pub fn snapshot(&self) -> Vec<(OperatorKind, OperatorStats)> {
+        let map = self.map.lock();
+        let mut out: Vec<_> = map.iter().map(|(k, v)| (*k, *v)).collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Total time across all operators.
+    pub fn total(&self) -> Duration {
+        self.map.lock().values().map(|s| s.total).sum()
+    }
+
+    /// Clears all accumulated stats.
+    pub fn reset(&self) {
+        self.map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_kind() {
+        let p = Profiler::new();
+        p.record(OperatorKind::Join, Duration::from_millis(5), 100);
+        p.record(OperatorKind::Join, Duration::from_millis(7), 50);
+        p.record(OperatorKind::Scan, Duration::from_millis(1), 10);
+        let snap = p.snapshot();
+        let join = snap.iter().find(|(k, _)| *k == OperatorKind::Join).unwrap().1;
+        assert_eq!(join.invocations, 2);
+        assert_eq!(join.rows_out, 150);
+        assert_eq!(join.total, Duration::from_millis(12));
+        assert_eq!(p.total(), Duration::from_millis(13));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let p = Profiler::new();
+        p.record(OperatorKind::Sort, Duration::from_millis(1), 0);
+        p.reset();
+        assert!(p.snapshot().is_empty());
+    }
+
+    #[test]
+    fn labels_cover_all_kinds() {
+        assert_eq!(OperatorKind::GroupBy.label(), "GroupBy");
+        assert_eq!(OperatorKind::UdfEval.label(), "UdfEval");
+    }
+}

@@ -1,0 +1,16 @@
+//! SQL front-end: lexer, abstract syntax tree and recursive-descent parser.
+//!
+//! The dialect covers everything the paper's collaborative queries use and
+//! everything the DL2SQL compiler emits — see the crate docs for the list.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{
+    BinOp, Expr, FromItem, Join, Literal, ObjectKind, OrderByItem, Query, SelectItem, Statement,
+    TableFactor, UnaryOp,
+};
+pub use parser::{parse_expression, parse_statement, parse_statements};
+pub use printer::{expr_to_sql, query_to_sql, statement_to_sql};

@@ -1,0 +1,113 @@
+//! Table statistics for the cost models.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::catalog::Catalog;
+use crate::table::Table;
+
+/// Row count plus per-column distinct-value counts.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// Number of rows.
+    pub rows: u64,
+    /// Distinct values per (lower-cased) column name.
+    pub distinct: HashMap<String, u64>,
+}
+
+impl TableStats {
+    /// Computes exact statistics by scanning the table.
+    pub fn compute(table: &Table) -> TableStats {
+        let mut distinct = HashMap::new();
+        for (i, f) in table.schema().fields().iter().enumerate() {
+            let col = table.column(i);
+            let mut set = std::collections::HashSet::new();
+            for row in 0..col.len() {
+                set.insert(col.value(row).to_key());
+            }
+            distinct.insert(f.name.to_ascii_lowercase(), set.len() as u64);
+        }
+        TableStats { rows: table.num_rows() as u64, distinct }
+    }
+
+    /// Distinct count of a column, if known.
+    pub fn ndv(&self, column: &str) -> Option<u64> {
+        self.distinct.get(&column.to_ascii_lowercase()).copied()
+    }
+}
+
+/// Cache of computed statistics, keyed by table name and invalidated when
+/// the table's row count changes (a pragmatic staleness proxy).
+#[derive(Debug, Default)]
+pub struct StatsCache {
+    map: Mutex<HashMap<String, (usize, Arc<TableStats>)>>,
+}
+
+impl StatsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        StatsCache::default()
+    }
+
+    /// Statistics for a catalog table, computing and caching on demand.
+    pub fn stats_for(&self, catalog: &Catalog, name: &str) -> Option<Arc<TableStats>> {
+        let table = catalog.table(name)?;
+        let key = name.to_ascii_lowercase();
+        {
+            let map = self.map.lock();
+            if let Some((rows, stats)) = map.get(&key) {
+                if *rows == table.num_rows() {
+                    return Some(Arc::clone(stats));
+                }
+            }
+        }
+        let stats = Arc::new(TableStats::compute(&table));
+        self.map.lock().insert(key, (table.num_rows(), Arc::clone(&stats)));
+        Some(stats)
+    }
+
+    /// Drops all cached statistics.
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::table::{Field, Schema};
+    use crate::value::DataType;
+
+    fn t(vals: Vec<i64>) -> Table {
+        Table::new(
+            Schema::new(vec![Field::new("k", DataType::Int64)]),
+            vec![Column::Int64(vals)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn computes_rows_and_ndv() {
+        let s = TableStats::compute(&t(vec![1, 1, 2, 3, 3, 3]));
+        assert_eq!(s.rows, 6);
+        assert_eq!(s.ndv("k"), Some(3));
+        assert_eq!(s.ndv("K"), Some(3));
+        assert_eq!(s.ndv("missing"), None);
+    }
+
+    #[test]
+    fn cache_invalidates_on_row_count_change() {
+        let c = Catalog::new();
+        c.create_table("t", t(vec![1, 2]), false).unwrap();
+        let cache = StatsCache::new();
+        let s1 = cache.stats_for(&c, "t").unwrap();
+        assert_eq!(s1.rows, 2);
+        c.replace_table("t", t(vec![1, 2, 3])).unwrap();
+        let s2 = cache.stats_for(&c, "t").unwrap();
+        assert_eq!(s2.rows, 3);
+        assert!(cache.stats_for(&c, "nope").is_none());
+    }
+}

@@ -1,0 +1,323 @@
+//! Schemas and in-memory tables.
+
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+
+/// One column's name and type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (case-preserving, matched case-insensitively).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        let mut found = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.name.eq_ignore_ascii_case(name) {
+                if found.is_some() {
+                    return Err(Error::Plan(format!("ambiguous column name '{name}'")));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| Error::NotFound(format!("column '{name}'")))
+    }
+
+    /// Field at `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+}
+
+/// An immutable-by-convention columnar table. Mutation happens by
+/// replacing the table in the catalog (UPDATE rewrites columns in place
+/// through [`Table::set_column`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Builds a table from a schema and matching columns.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(Error::Plan(format!(
+                "schema has {} fields but {} columns provided",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if c.data_type() != f.data_type {
+                return Err(Error::Type(format!(
+                    "column '{}' declared {} but stored {}",
+                    f.name,
+                    f.data_type,
+                    c.data_type()
+                )));
+            }
+            if c.len() != rows {
+                return Err(Error::Plan(format!(
+                    "column '{}' has {} rows, expected {rows}",
+                    f.name,
+                    c.len()
+                )));
+            }
+        }
+        Ok(Table { schema, columns, rows })
+    }
+
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema.fields().iter().map(|f| Column::empty(f.data_type)).collect();
+        Table { schema, columns, rows: 0 }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by position.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Replaces column `i` (same type and row count required). Used by
+    /// UPDATE.
+    pub fn set_column(&mut self, i: usize, column: Column) -> Result<()> {
+        if column.data_type() != self.schema.field(i).data_type {
+            return Err(Error::Type(format!(
+                "cannot replace {} column with {}",
+                self.schema.field(i).data_type,
+                column.data_type()
+            )));
+        }
+        if column.len() != self.rows {
+            return Err(Error::Plan("replacement column row count mismatch".into()));
+        }
+        self.columns[i] = column;
+        Ok(())
+    }
+
+    /// One row as values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Appends a row of values (with per-column coercion).
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(Error::Plan(format!(
+                "row has {} values, table has {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            c.push(v)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Appends all rows of `other` (schemas must match by type).
+    pub fn append(&mut self, other: &Table) -> Result<()> {
+        if other.num_columns() != self.num_columns() {
+            return Err(Error::Plan("appending table with different column count".into()));
+        }
+        for (a, b) in self.columns.iter_mut().zip(other.columns.iter()) {
+            a.append(b)?;
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
+
+    /// Keeps rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Table {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.filter(mask)).collect();
+        let rows = columns.first().map_or(0, Column::len);
+        Table { schema: self.schema.clone(), columns, rows }
+    }
+
+    /// Gathers rows by index.
+    pub fn take(&self, indices: &[usize]) -> Table {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.take(indices)).collect();
+        Table { schema: self.schema.clone(), columns, rows: indices.len() }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(Column::memory_bytes).sum()
+    }
+
+    /// Renders the table as an aligned text grid (for examples and
+    /// harness output).
+    pub fn to_display_string(&self) -> String {
+        let mut widths: Vec<usize> = self.schema.fields().iter().map(|f| f.name.len()).collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let row: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| match c.value(r) {
+                    Value::Float64(f) => format!("{f:.4}"),
+                    v => v.to_string(),
+                })
+                .collect();
+            for (w, cell) in widths.iter_mut().zip(&row) {
+                *w = (*w).max(cell.len());
+            }
+            cells.push(row);
+        }
+        let mut out = String::new();
+        for (i, f) in self.schema.fields().iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", f.name, w = widths[i]));
+        }
+        out.push('\n');
+        for row in cells {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Shared, cheaply-clonable table handle used by the catalog.
+pub type TableRef = Arc<Table>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(
+            Schema::new(vec![Field::new("id", DataType::Int64), Field::new("v", DataType::Float64)]),
+            vec![Column::Int64(vec![1, 2, 3]), Column::Float64(vec![0.1, 0.2, 0.3])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        let schema = Schema::new(vec![Field::new("id", DataType::Int64)]);
+        assert!(Table::new(schema.clone(), vec![]).is_err());
+        assert!(Table::new(schema.clone(), vec![Column::Bool(vec![true])]).is_err());
+        let uneven = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ]);
+        assert!(Table::new(uneven, vec![Column::Int64(vec![1]), Column::Int64(vec![1, 2])]).is_err());
+    }
+
+    #[test]
+    fn name_lookup_is_case_insensitive() {
+        let t = sample();
+        assert!(t.column_by_name("ID").is_ok());
+        assert!(t.column_by_name("missing").is_err());
+    }
+
+    #[test]
+    fn ambiguous_names_are_reported() {
+        let s = Schema::new(vec![
+            Field::new("x", DataType::Int64),
+            Field::new("X", DataType::Int64),
+        ]);
+        assert!(matches!(s.index_of("x"), Err(Error::Plan(_))));
+    }
+
+    #[test]
+    fn push_row_and_append() {
+        let mut t = sample();
+        t.push_row(vec![Value::Int64(4), Value::Float64(0.4)]).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        assert!(t.push_row(vec![Value::Int64(5)]).is_err());
+
+        let other = sample();
+        t.append(&other).unwrap();
+        assert_eq!(t.num_rows(), 7);
+    }
+
+    #[test]
+    fn filter_and_take_preserve_schema() {
+        let t = sample();
+        let f = t.filter(&[true, false, true]);
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.schema(), t.schema());
+        let g = t.take(&[2, 2, 0]);
+        assert_eq!(g.column(0).i64_at(0), 3);
+        assert_eq!(g.column(0).i64_at(2), 1);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let s = sample().to_display_string();
+        assert!(s.contains("id"));
+        assert!(s.lines().count() == 4);
+    }
+}

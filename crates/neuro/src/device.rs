@@ -1,0 +1,216 @@
+//! Device profiles and simulated-time accounting.
+//!
+//! The paper evaluates on an ARM edge device and on a Xeon + Quadro P6000
+//! server. Only one host is available to this reproduction, so
+//! cross-hardware experiments (paper Fig. 8) are reproduced with a
+//! deterministic cost model: every operator charges its floating-point work
+//! (and, for the GPU, its host↔device transfer bytes) to a [`SimClock`]
+//! whose [`DeviceProfile`] converts work into simulated seconds. The
+//! profiles are calibrated so that the server-CPU profile roughly matches
+//! real wall time on a laptop-class machine; the edge and GPU profiles keep
+//! the paper's relative throughput ratios.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which physical device a profile models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// The paper's ARM V8 edge device (no accelerator).
+    EdgeCpu,
+    /// The Alibaba Cloud server's Xeon CPU.
+    ServerCpu,
+    /// The server's Quadro P6000 GPU.
+    ServerGpu,
+}
+
+/// Throughput characteristics of a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Which device this profile models.
+    pub kind: DeviceKind,
+    /// Sustained floating-point throughput, in FLOP/s.
+    pub flops_per_sec: f64,
+    /// Bytes/s for moving data onto the device (PCIe for the GPU; memory
+    /// bandwidth otherwise).
+    pub transfer_bytes_per_sec: f64,
+    /// Fixed per-dispatch latency in seconds (kernel-launch cost on the
+    /// GPU, negligible on CPUs).
+    pub dispatch_latency_sec: f64,
+    /// Synchronous host↔device round-trip latency per inference call
+    /// (copy-in + launch + copy-out for an unbatched call). Zero on CPUs.
+    pub round_trip_sec: f64,
+}
+
+impl DeviceProfile {
+    /// The ARM V8 edge CPU.
+    pub fn edge_cpu() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::EdgeCpu,
+            flops_per_sec: 2.0e9,
+            transfer_bytes_per_sec: 4.0e9,
+            dispatch_latency_sec: 0.0,
+            round_trip_sec: 0.0,
+        }
+    }
+
+    /// The server Xeon CPU.
+    pub fn server_cpu() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::ServerCpu,
+            flops_per_sec: 4.0e10,
+            transfer_bytes_per_sec: 2.0e10,
+            dispatch_latency_sec: 0.0,
+            round_trip_sec: 0.0,
+        }
+    }
+
+    /// The Quadro P6000 GPU: vastly faster compute, but every tensor must
+    /// cross PCIe and each kernel launch pays a fixed latency — which is
+    /// exactly why the paper's Fig. 8 shows GPU *loading* cost growing while
+    /// inference cost shrinks.
+    pub fn server_gpu() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::ServerGpu,
+            flops_per_sec: 1.0e13,
+            transfer_bytes_per_sec: 8.0e9,
+            dispatch_latency_sec: 20.0e-6,
+            // A synchronous, unbatched inference call pays copy-in +
+            // launch + copy-out every time; calibrated so that row-at-a-
+            // time UDF inference cannot exploit the GPU (the paper's
+            // observation for DB-UDF).
+            round_trip_sec: 1.5e-3,
+        }
+    }
+}
+
+/// A ledger of simulated work. Thread-safe; cheap atomic adds on the hot
+/// path, conversion to seconds only when read.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    flops: AtomicU64,
+    transfer_bytes: AtomicU64,
+    dispatches: AtomicU64,
+    round_trips: AtomicU64,
+}
+
+impl SimClock {
+    /// A fresh, empty ledger.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Records floating-point work.
+    pub fn charge_flops(&self, flops: u64) {
+        self.flops.fetch_add(flops, Ordering::Relaxed);
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records bytes moved onto the device.
+    pub fn charge_transfer(&self, bytes: u64) {
+        self.transfer_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one synchronous host↔device round trip (an unbatched
+    /// inference call).
+    pub fn charge_round_trip(&self) {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total round trips recorded.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Total floating-point operations recorded.
+    pub fn flops(&self) -> u64 {
+        self.flops.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes recorded as transferred.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.transfer_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of operator dispatches recorded.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Converts the ledger into simulated seconds under `profile`.
+    pub fn simulated_seconds(&self, profile: &DeviceProfile) -> f64 {
+        let compute = self.flops() as f64 / profile.flops_per_sec;
+        let transfer = self.transfer_bytes() as f64 / profile.transfer_bytes_per_sec;
+        let dispatch = self.dispatches() as f64 * profile.dispatch_latency_sec;
+        let trips = self.round_trips() as f64 * profile.round_trip_sec;
+        compute + transfer + dispatch + trips
+    }
+
+    /// Resets the ledger to zero.
+    pub fn reset(&self) {
+        self.flops.store(0, Ordering::Relaxed);
+        self.transfer_bytes.store(0, Ordering::Relaxed);
+        self.dispatches.store(0, Ordering::Relaxed);
+        self.round_trips.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let c = SimClock::new();
+        c.charge_flops(100);
+        c.charge_flops(50);
+        c.charge_transfer(1_000);
+        assert_eq!(c.flops(), 150);
+        assert_eq!(c.transfer_bytes(), 1_000);
+        assert_eq!(c.dispatches(), 2);
+    }
+
+    #[test]
+    fn faster_device_simulates_less_time() {
+        let c = SimClock::new();
+        c.charge_flops(2_000_000_000);
+        let edge = c.simulated_seconds(&DeviceProfile::edge_cpu());
+        let server = c.simulated_seconds(&DeviceProfile::server_cpu());
+        assert!(edge > server);
+        // 2 GFLOP on a 2 GFLOP/s edge CPU is about a second.
+        assert!((edge - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn gpu_pays_transfer_and_dispatch() {
+        let c = SimClock::new();
+        c.charge_flops(1_000); // trivially cheap compute
+        c.charge_transfer(80_000_000); // 80 MB over 8 GB/s = 10 ms
+        let gpu = c.simulated_seconds(&DeviceProfile::server_gpu());
+        assert!(gpu > 0.009, "transfer should dominate: {gpu}");
+    }
+
+    #[test]
+    fn round_trips_penalize_unbatched_gpu_calls() {
+        let c = SimClock::new();
+        for _ in 0..1000 {
+            c.charge_round_trip();
+        }
+        let gpu = c.simulated_seconds(&DeviceProfile::server_gpu());
+        let cpu = c.simulated_seconds(&DeviceProfile::server_cpu());
+        assert!(gpu > 1.0, "1000 synchronous calls cost seconds on a GPU: {gpu}");
+        assert_eq!(cpu, 0.0, "CPUs have no round-trip latency");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let c = SimClock::new();
+        c.charge_flops(5);
+        c.charge_transfer(5);
+        c.charge_round_trip();
+        c.reset();
+        assert_eq!(c.flops(), 0);
+        assert_eq!(c.transfer_bytes(), 0);
+        assert_eq!(c.dispatches(), 0);
+        assert_eq!(c.round_trips(), 0);
+    }
+}

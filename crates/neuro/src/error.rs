@@ -1,0 +1,41 @@
+//! Error type shared across the inference engine.
+
+use std::fmt;
+
+/// Errors produced by tensor operations, model execution and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A tensor had a different shape than the operation required.
+    ShapeMismatch {
+        /// What the operation expected (free-form, e.g. `"[C,H,W]"`).
+        expected: String,
+        /// The shape that was actually provided.
+        got: Vec<usize>,
+    },
+    /// An operator was configured with parameters that can never be valid
+    /// (e.g. a zero-sized kernel or stride).
+    InvalidConfig(String),
+    /// The requested operator exists in the paper's taxonomy but is
+    /// unsupported (LSTM, GRU, self-attention).
+    Unsupported(&'static str),
+    /// A serialized model was malformed.
+    Corrupt(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got:?}")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid operator configuration: {msg}"),
+            Error::Unsupported(what) => write!(f, "unsupported operator: {what}"),
+            Error::Corrupt(msg) => write!(f, "corrupt model data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

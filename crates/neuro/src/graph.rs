@@ -1,0 +1,353 @@
+//! Network structure: layers and composite blocks.
+//!
+//! The paper's Table II inventory maps onto [`Layer`]; residual, identity
+//! and dense blocks are composite variants holding sub-layer sequences.
+//! A network is simply a `Vec<Layer>` executed front to back by
+//! [`crate::model::Model`].
+
+use crate::device::SimClock;
+use crate::error::{Error, Result};
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// One layer of a network.
+///
+/// Normalization note: DL2SQL maintains one feature-map table per channel
+/// (paper footnote 4) and normalizes each table with its own
+/// `AVG`/`stddevSamp` (query Q4). With per-query batches of one image that
+/// is exactly per-channel (instance) statistics, so [`Layer::BatchNorm`]
+/// over a `[C,H,W]` input computes per-channel statistics too — keeping the
+/// SQL execution and this engine bit-comparable. Over a vector input it
+/// normalizes across the whole vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// 2-D convolution. `weight` is `[out_c, in_c, kh, kw]`.
+    Conv2d {
+        weight: Tensor,
+        bias: Option<Vec<f32>>,
+        stride: usize,
+        padding: usize,
+    },
+    /// Transposed convolution. `weight` is `[in_c, out_c, kh, kw]`.
+    Deconv2d {
+        weight: Tensor,
+        bias: Option<Vec<f32>>,
+        stride: usize,
+        padding: usize,
+    },
+    /// Max pooling with a square kernel.
+    MaxPool2d { kernel: usize, stride: usize },
+    /// Average pooling with a square kernel.
+    AvgPool2d { kernel: usize, stride: usize },
+    /// Global average pooling: `[C,H,W]` → `[C]`.
+    GlobalAvgPool,
+    /// ReLU activation.
+    Relu,
+    /// Sigmoid activation.
+    Sigmoid,
+    /// Batch normalization (see the type-level note on statistics scope).
+    BatchNorm { eps: f32 },
+    /// Instance normalization (always per-channel statistics).
+    InstanceNorm { eps: f32 },
+    /// Full connection. `weight` is `[out, in]`.
+    Linear { weight: Tensor, bias: Option<Vec<f32>> },
+    /// Basic (non-self) attention; see [`ops::attention`].
+    BasicAttention { score: Tensor, proj: Tensor },
+    /// Flattens any input to a 1-D vector.
+    Flatten,
+    /// Softmax over all elements.
+    Softmax,
+    /// A composite block.
+    Block(Block),
+}
+
+/// Composite blocks from paper Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// Residual block: `relu(body(x) + shortcut(x))`. An empty shortcut is
+    /// the identity, making this the paper's *identity block*.
+    Residual { body: Vec<Layer>, shortcut: Vec<Layer> },
+    /// Dense block: runs each branch on the concatenation of the input and
+    /// all previous branch outputs, DenseNet-style, and returns the final
+    /// concatenation.
+    Dense { branches: Vec<Vec<Layer>> },
+}
+
+impl Layer {
+    /// Applies the layer to `input`, charging the floating-point work to
+    /// `clock` if one is provided.
+    pub fn apply(&self, input: &Tensor, clock: Option<&SimClock>) -> Result<Tensor> {
+        match self {
+            Layer::Conv2d { weight, bias, stride, padding } => {
+                let out = ops::conv2d(input, weight, bias.as_deref(), *stride, *padding)?;
+                if let Some(c) = clock {
+                    let (in_c, _, _) = input.as_chw()?;
+                    let s = out.shape();
+                    let w = weight.shape();
+                    c.charge_flops(ops::conv2d_flops(in_c, s[0], s[1], s[2], w[2], w[3]));
+                }
+                Ok(out)
+            }
+            Layer::Deconv2d { weight, bias, stride, padding } => {
+                let (in_c, in_h, in_w) = input.as_chw()?;
+                let out = ops::deconv2d(input, weight, bias.as_deref(), *stride, *padding)?;
+                if let Some(c) = clock {
+                    let w = weight.shape();
+                    c.charge_flops(ops::deconv2d_flops(in_c, w[1], in_h, in_w, w[2], w[3]));
+                }
+                Ok(out)
+            }
+            Layer::MaxPool2d { kernel, stride } => {
+                let out = ops::max_pool2d(input, *kernel, *stride)?;
+                if let Some(c) = clock {
+                    let s = out.shape();
+                    c.charge_flops(ops::pool_flops(s[0], s[1], s[2], *kernel));
+                }
+                Ok(out)
+            }
+            Layer::AvgPool2d { kernel, stride } => {
+                let out = ops::avg_pool2d(input, *kernel, *stride)?;
+                if let Some(c) = clock {
+                    let s = out.shape();
+                    c.charge_flops(ops::pool_flops(s[0], s[1], s[2], *kernel));
+                }
+                Ok(out)
+            }
+            Layer::GlobalAvgPool => {
+                let out = ops::global_avg_pool(input)?;
+                if let Some(c) = clock {
+                    c.charge_flops(input.len() as u64);
+                }
+                Ok(out)
+            }
+            Layer::Relu => {
+                if let Some(c) = clock {
+                    c.charge_flops(ops::relu_flops(input.len()));
+                }
+                Ok(ops::relu(input))
+            }
+            Layer::Sigmoid => {
+                if let Some(c) = clock {
+                    c.charge_flops(ops::sigmoid_flops(input.len()));
+                }
+                Ok(ops::sigmoid(input))
+            }
+            Layer::BatchNorm { eps } => {
+                if let Some(c) = clock {
+                    c.charge_flops(ops::norm_flops(input.len()));
+                }
+                if input.as_chw().is_ok() {
+                    ops::instance_norm(input, *eps)
+                } else {
+                    ops::batch_norm(input, *eps, None)
+                }
+            }
+            Layer::InstanceNorm { eps } => {
+                if let Some(c) = clock {
+                    c.charge_flops(ops::norm_flops(input.len()));
+                }
+                ops::instance_norm(input, *eps)
+            }
+            Layer::Linear { weight, bias } => {
+                if let Some(c) = clock {
+                    let s = weight.shape();
+                    c.charge_flops(ops::linear_flops(s[1], s[0]));
+                }
+                ops::linear(input, weight, bias.as_deref())
+            }
+            Layer::BasicAttention { score, proj } => {
+                if let Some(c) = clock {
+                    let (out_dim, in_dim) = (proj.shape()[0], proj.shape()[1]);
+                    c.charge_flops(ops::basic_attention_flops(in_dim, out_dim));
+                }
+                ops::basic_attention(input, score, proj)
+            }
+            Layer::Flatten => input.clone().reshape(vec![input.len()]),
+            Layer::Softmax => {
+                if let Some(c) = clock {
+                    c.charge_flops(ops::softmax_flops(input.len()));
+                }
+                Ok(ops::softmax(input))
+            }
+            Layer::Block(block) => block.apply(input, clock),
+        }
+    }
+
+    /// Number of learned parameters in the layer.
+    pub fn param_count(&self) -> u64 {
+        match self {
+            Layer::Conv2d { weight, bias, .. } | Layer::Deconv2d { weight, bias, .. } => {
+                weight.len() as u64 + bias.as_ref().map_or(0, |b| b.len() as u64)
+            }
+            Layer::Linear { weight, bias } => {
+                weight.len() as u64 + bias.as_ref().map_or(0, |b| b.len() as u64)
+            }
+            Layer::BasicAttention { score, proj } => (score.len() + proj.len()) as u64,
+            Layer::Block(b) => b.param_count(),
+            _ => 0,
+        }
+    }
+
+    /// Short display name used by profiling output (paper Fig. 9 labels).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Layer::Conv2d { .. } => "Conv",
+            Layer::Deconv2d { .. } => "Deconv",
+            Layer::MaxPool2d { .. } => "MaxPool",
+            Layer::AvgPool2d { .. } => "AvgPool",
+            Layer::GlobalAvgPool => "GlobalAvgPool",
+            Layer::Relu => "ReLU",
+            Layer::Sigmoid => "Sigmoid",
+            Layer::BatchNorm { .. } => "BN",
+            Layer::InstanceNorm { .. } => "IN",
+            Layer::Linear { .. } => "FC",
+            Layer::BasicAttention { .. } => "Attention",
+            Layer::Flatten => "Flatten",
+            Layer::Softmax => "Softmax",
+            Layer::Block(Block::Residual { shortcut, .. }) => {
+                if shortcut.is_empty() {
+                    "IdentityBlock"
+                } else {
+                    "ResidualBlock"
+                }
+            }
+            Layer::Block(Block::Dense { .. }) => "DenseBlock",
+        }
+    }
+}
+
+impl Block {
+    /// Runs the block.
+    pub fn apply(&self, input: &Tensor, clock: Option<&SimClock>) -> Result<Tensor> {
+        match self {
+            Block::Residual { body, shortcut } => {
+                let mut main = input.clone();
+                for l in body {
+                    main = l.apply(&main, clock)?;
+                }
+                let mut side = input.clone();
+                for l in shortcut {
+                    side = l.apply(&side, clock)?;
+                }
+                let sum = main.add(&side).map_err(|_| Error::ShapeMismatch {
+                    expected: format!("shortcut output {:?}", main.shape()),
+                    got: side.shape().to_vec(),
+                })?;
+                if let Some(c) = clock {
+                    c.charge_flops(sum.len() as u64 + ops::relu_flops(sum.len()));
+                }
+                Ok(ops::relu(&sum))
+            }
+            Block::Dense { branches } => {
+                let mut acc = input.clone();
+                for branch in branches {
+                    let mut out = acc.clone();
+                    for l in branch {
+                        out = l.apply(&out, clock)?;
+                    }
+                    acc = Tensor::concat_channels(&[acc, out])?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Number of learned parameters in the block.
+    pub fn param_count(&self) -> u64 {
+        match self {
+            Block::Residual { body, shortcut } => body
+                .iter()
+                .chain(shortcut.iter())
+                .map(Layer::param_count)
+                .sum(),
+            Block::Dense { branches } => branches
+                .iter()
+                .flat_map(|b| b.iter())
+                .map(Layer::param_count)
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv1x1(in_c: usize, out_c: usize, v: f32) -> Layer {
+        Layer::Conv2d {
+            weight: Tensor::full(vec![out_c, in_c, 1, 1], v),
+            bias: None,
+            stride: 1,
+            padding: 0,
+        }
+    }
+
+    #[test]
+    fn identity_block_adds_input_back() {
+        // Body doubles values (1x1 conv, weight 2), identity shortcut: out = relu(2x + x).
+        let block = Layer::Block(Block::Residual {
+            body: vec![conv1x1(1, 1, 2.0)],
+            shortcut: vec![],
+        });
+        let x = Tensor::new(vec![1, 1, 2], vec![1.0, -1.0]).unwrap();
+        let y = block.apply(&x, None).unwrap();
+        assert_eq!(y.data(), &[3.0, 0.0]); // relu(3), relu(-3)
+    }
+
+    #[test]
+    fn residual_block_uses_conv_shortcut() {
+        let block = Layer::Block(Block::Residual {
+            body: vec![conv1x1(1, 2, 1.0)],
+            shortcut: vec![conv1x1(1, 2, 10.0)],
+        });
+        let x = Tensor::new(vec![1, 1, 1], vec![1.0]).unwrap();
+        let y = block.apply(&x, None).unwrap();
+        assert_eq!(y.shape(), &[2, 1, 1]);
+        assert_eq!(y.data(), &[11.0, 11.0]);
+    }
+
+    #[test]
+    fn dense_block_grows_channels() {
+        // Each branch reads the running concat; a 1x1 conv mapping all
+        // current channels to 1 channel.
+        let block = Layer::Block(Block::Dense {
+            branches: vec![vec![conv1x1(1, 1, 1.0)], vec![conv1x1(2, 1, 1.0)]],
+        });
+        let x = Tensor::new(vec![1, 1, 1], vec![3.0]).unwrap();
+        let y = block.apply(&x, None).unwrap();
+        // after branch 1: [3, 3]; branch 2 sums -> 6; concat -> [3, 3, 6].
+        assert_eq!(y.shape(), &[3, 1, 1]);
+        assert_eq!(y.data(), &[3.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn param_counts_aggregate_recursively() {
+        let block = Layer::Block(Block::Residual {
+            body: vec![conv1x1(2, 2, 1.0), Layer::Relu],
+            shortcut: vec![conv1x1(2, 2, 1.0)],
+        });
+        assert_eq!(block.param_count(), 8);
+        assert_eq!(Layer::Relu.param_count(), 0);
+    }
+
+    #[test]
+    fn op_names_distinguish_identity_and_residual() {
+        let id = Layer::Block(Block::Residual { body: vec![], shortcut: vec![] });
+        let res = Layer::Block(Block::Residual { body: vec![], shortcut: vec![Layer::Relu] });
+        assert_eq!(id.op_name(), "IdentityBlock");
+        assert_eq!(res.op_name(), "ResidualBlock");
+    }
+
+    #[test]
+    fn flatten_then_linear_pipeline() {
+        let x = Tensor::new(vec![1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let flat = Layer::Flatten.apply(&x, None).unwrap();
+        assert_eq!(flat.shape(), &[4]);
+        let lin = Layer::Linear {
+            weight: Tensor::new(vec![1, 4], vec![1.0; 4]).unwrap(),
+            bias: Some(vec![0.5]),
+        };
+        let y = lin.apply(&flat, None).unwrap();
+        assert_eq!(y.data(), &[10.5]);
+    }
+}

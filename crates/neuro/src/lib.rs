@@ -1,0 +1,45 @@
+//! `neuro` — a small, self-contained tensor and CNN inference engine.
+//!
+//! This crate is the stand-in for PyTorch / LibTorch in the reproduction of
+//! *"A Comparative Study of in-Database Inference Approaches"* (ICDE 2022).
+//! It provides exactly the operator inventory the paper's Table II lists:
+//!
+//! * convolution and deconvolution ([`ops::conv`]),
+//! * average / max pooling ([`ops::pool`]),
+//! * ReLU and Sigmoid activations ([`ops::activation`]),
+//! * batch and instance normalization ([`ops::norm`]),
+//! * full connection ([`mod@ops::linear`]),
+//! * basic attention ([`ops::attention`]),
+//! * residual / identity / dense blocks ([`graph`]),
+//! * softmax classification heads ([`mod@ops::softmax`]).
+//!
+//! LSTM / GRU and self-attention are intentionally absent — the paper marks
+//! them *Unsupported* as well.
+//!
+//! Beyond the kernels themselves the crate provides:
+//!
+//! * [`model::Model`] — a runnable network (layer graph + weights) with a
+//!   single-image and a batched forward pass,
+//! * [`serialize`] — a binary model format standing in for TorchScript
+//!   (`save` / `load`), plus the stripped "compiled UDF" form the paper's
+//!   loose-integration strategy links into the database kernel,
+//! * [`device`] — device profiles (edge CPU / server CPU / server GPU) and a
+//!   deterministic simulated-time ledger used to reproduce the paper's
+//!   cross-hardware comparisons on a single host,
+//! * [`zoo`] — builders for the paper's model family: the distilled 3-block
+//!   student CNN and ResNet-style networks of depth 5–40.
+
+pub mod device;
+pub mod error;
+pub mod graph;
+pub mod model;
+pub mod ops;
+pub mod serialize;
+pub mod tensor;
+pub mod zoo;
+
+pub use device::{DeviceKind, DeviceProfile, SimClock};
+pub use error::{Error, Result};
+pub use graph::{Block, Layer};
+pub use model::Model;
+pub use tensor::Tensor;

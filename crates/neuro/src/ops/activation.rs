@@ -1,0 +1,71 @@
+//! Element-wise activations: ReLU and Sigmoid (paper Table II).
+//!
+//! DL2SQL implements ReLU as `UPDATE t SET Value = 0 WHERE Value < 0`
+//! (paper query Q5); these are the direct counterparts.
+
+use crate::tensor::Tensor;
+
+/// Rectified linear unit: `max(0, x)` element-wise (paper Eq. 2).
+pub fn relu(input: &Tensor) -> Tensor {
+    let mut out = input.clone();
+    for v in out.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    out
+}
+
+/// Logistic sigmoid: `1 / (1 + e^-x)` element-wise.
+pub fn sigmoid(input: &Tensor) -> Tensor {
+    let mut out = input.clone();
+    for v in out.data_mut() {
+        *v = 1.0 / (1.0 + (-*v).exp());
+    }
+    out
+}
+
+/// Floating-point work of a ReLU pass (one comparison per element).
+pub fn relu_flops(elements: usize) -> u64 {
+    elements as u64
+}
+
+/// Floating-point work of a sigmoid pass (exp + add + div per element).
+pub fn sigmoid_flops(elements: usize) -> u64 {
+    4 * elements as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives_only() {
+        let t = Tensor::vector(&[-2.0, -0.0, 0.0, 3.5]);
+        assert_eq!(relu(&t).data(), &[0.0, 0.0, 0.0, 3.5]);
+    }
+
+    #[test]
+    fn relu_is_idempotent() {
+        let t = Tensor::vector(&[-1.0, 2.0]);
+        let once = relu(&t);
+        let twice = relu(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn sigmoid_maps_into_unit_interval() {
+        let t = Tensor::vector(&[-100.0, 0.0, 100.0]);
+        let s = sigmoid(&t);
+        assert!(s.data()[0] < 1e-6);
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        assert!(s.data()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone() {
+        let t = Tensor::vector(&[-1.0, 0.0, 1.0]);
+        let s = sigmoid(&t);
+        assert!(s.data()[0] < s.data()[1] && s.data()[1] < s.data()[2]);
+    }
+}

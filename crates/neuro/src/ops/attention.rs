@@ -1,0 +1,82 @@
+//! Basic attention.
+//!
+//! Paper Table II supports *basic* attention (described as "a variant of
+//! full connection") and explicitly does **not** support self-attention.
+//! Basic attention here is additive attention over a flattened input: a
+//! learned scoring vector produces softmax weights that gate the input
+//! before a dense projection.
+
+use crate::error::{Error, Result};
+use crate::ops::linear::linear;
+use crate::ops::softmax::softmax;
+use crate::tensor::Tensor;
+
+/// Basic (non-self) attention.
+///
+/// * `score_weight`: `[in, in]` matrix producing one score per position,
+/// * `proj_weight`: `[out, in]` output projection.
+///
+/// Computation: `scores = score_weight · x`, `alpha = softmax(scores)`,
+/// `gated = alpha ⊙ x`, `y = proj_weight · gated`.
+pub fn basic_attention(input: &Tensor, score_weight: &Tensor, proj_weight: &Tensor) -> Result<Tensor> {
+    let n = input.len();
+    match score_weight.shape() {
+        [r, c] if *r == n && *c == n => {}
+        _ => {
+            return Err(Error::ShapeMismatch {
+                expected: format!("[{n}, {n}] score weight"),
+                got: score_weight.shape().to_vec(),
+            })
+        }
+    }
+    let flat = input.clone().reshape(vec![n])?;
+    let scores = linear(&flat, score_weight, None)?;
+    let alpha = softmax(&scores);
+    let gated: Vec<f32> = alpha
+        .data()
+        .iter()
+        .zip(flat.data().iter())
+        .map(|(a, x)| a * x)
+        .collect();
+    linear(&Tensor::vector(&gated), proj_weight, None)
+}
+
+/// Floating-point work of a basic-attention pass.
+pub fn basic_attention_flops(in_dim: usize, out_dim: usize) -> u64 {
+    // score matvec + softmax + gating + projection matvec
+    2 * (in_dim * in_dim) as u64 + 4 * in_dim as u64 + in_dim as u64 + 2 * (in_dim * out_dim) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_scores_average_gate() {
+        // Zero score weight -> uniform attention -> gated = x / n.
+        let x = Tensor::vector(&[2.0, 4.0]);
+        let sw = Tensor::new(vec![2, 2], vec![0.0; 4]).unwrap();
+        let pw = Tensor::new(vec![1, 2], vec![1.0, 1.0]).unwrap();
+        let y = basic_attention(&x, &sw, &pw).unwrap();
+        assert!((y.data()[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn strong_score_selects_one_position() {
+        // Score row that massively favors position 1.
+        let x = Tensor::vector(&[1.0, 10.0]);
+        let sw = Tensor::new(vec![2, 2], vec![0.0, 0.0, 0.0, 100.0]).unwrap();
+        let pw = Tensor::new(vec![1, 2], vec![1.0, 1.0]).unwrap();
+        let y = basic_attention(&x, &sw, &pw).unwrap();
+        // alpha ~ (0, 1): output ~ x[1] = 10.
+        assert!((y.data()[0] - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shape_checks() {
+        let x = Tensor::vector(&[1.0, 2.0]);
+        let bad_sw = Tensor::new(vec![1, 2], vec![0.0; 2]).unwrap();
+        let pw = Tensor::new(vec![1, 2], vec![0.0; 2]).unwrap();
+        assert!(basic_attention(&x, &bad_sw, &pw).is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! 2-D convolution and deconvolution (transposed convolution).
+//!
+//! These are the operators the paper spends its Section III-C1 on: DL2SQL
+//! stores the same kernels in a relational `Kernel` table and performs the
+//! same sliding-window dot products as a join + group-by. The direct
+//! implementations here are the reference the SQL execution is
+//! cross-checked against.
+
+use crate::error::{Error, Result};
+use crate::tensor::Tensor;
+
+/// Output spatial dimension of a convolution:
+/// `(in + 2*padding - kernel) / stride + 1` (paper Eq. 3).
+///
+/// Returns an error when the kernel does not fit the padded input or the
+/// stride does not evenly walk the input (the paper assumes it does).
+pub fn conv_output_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> Result<usize> {
+    if stride == 0 {
+        return Err(Error::InvalidConfig("stride must be positive".into()));
+    }
+    let padded = input + 2 * padding;
+    if kernel == 0 || kernel > padded {
+        return Err(Error::InvalidConfig(format!(
+            "kernel {kernel} does not fit padded input {padded}"
+        )));
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+/// Validates a convolution weight tensor of shape `[out_c, in_c, kh, kw]`
+/// against the input's channel count and returns `(out_c, in_c, kh, kw)`.
+fn check_weight(weight: &Tensor, in_c: usize) -> Result<(usize, usize, usize, usize)> {
+    match weight.shape() {
+        [oc, ic, kh, kw] if *ic == in_c => Ok((*oc, *ic, *kh, *kw)),
+        _ => Err(Error::ShapeMismatch {
+            expected: format!("[out_c, {in_c}, kh, kw]"),
+            got: weight.shape().to_vec(),
+        }),
+    }
+}
+
+/// 2-D convolution over a `[C, H, W]` input with a `[out_c, C, kh, kw]`
+/// weight tensor and optional per-output-channel bias.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor> {
+    let (in_c, in_h, in_w) = input.as_chw()?;
+    let (out_c, _, kh, kw) = check_weight(weight, in_c)?;
+    if let Some(b) = bias {
+        if b.len() != out_c {
+            return Err(Error::ShapeMismatch { expected: format!("[{out_c}] bias"), got: vec![b.len()] });
+        }
+    }
+    let out_h = conv_output_dim(in_h, kh, stride, padding)?;
+    let out_w = conv_output_dim(in_w, kw, stride, padding)?;
+
+    let w = weight.data();
+    let mut out = Tensor::zeros(vec![out_c, out_h, out_w]);
+    for oc in 0..out_c {
+        let bias_v = bias.map_or(0.0, |b| b[oc]);
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut acc = bias_v;
+                for ic in 0..in_c {
+                    for ky in 0..kh {
+                        // Signed arithmetic handles the padded border.
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        if iy < 0 || iy >= in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if ix < 0 || ix >= in_w as isize {
+                                continue;
+                            }
+                            let wv = w[((oc * in_c + ic) * kh + ky) * kw + kx];
+                            acc += wv * input.at(ic, iy as usize, ix as usize);
+                        }
+                    }
+                }
+                *out.at_mut(oc, oy, ox) = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Floating-point operations performed by [`conv2d`]: two per
+/// multiply-accumulate across the full output volume.
+pub fn conv2d_flops(
+    in_c: usize,
+    out_c: usize,
+    out_h: usize,
+    out_w: usize,
+    kh: usize,
+    kw: usize,
+) -> u64 {
+    2 * (out_c * out_h * out_w * in_c * kh * kw) as u64
+}
+
+/// Transposed convolution ("deconvolution") over a `[C, H, W]` input with a
+/// `[in_c, out_c, kh, kw]` weight tensor.
+///
+/// Output size is `(in - 1) * stride + kernel - 2 * padding`, the inverse of
+/// [`conv_output_dim`].
+pub fn deconv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor> {
+    let (in_c, in_h, in_w) = input.as_chw()?;
+    let (out_c, kh, kw) = match weight.shape() {
+        [ic, oc, kh, kw] if *ic == in_c => (*oc, *kh, *kw),
+        _ => {
+            return Err(Error::ShapeMismatch {
+                expected: format!("[{in_c}, out_c, kh, kw]"),
+                got: weight.shape().to_vec(),
+            })
+        }
+    };
+    if stride == 0 {
+        return Err(Error::InvalidConfig("stride must be positive".into()));
+    }
+    let full_h = (in_h - 1) * stride + kh;
+    let full_w = (in_w - 1) * stride + kw;
+    if 2 * padding >= full_h || 2 * padding >= full_w {
+        return Err(Error::InvalidConfig(format!(
+            "padding {padding} consumes the whole {full_h}x{full_w} deconv output"
+        )));
+    }
+    let out_h = full_h - 2 * padding;
+    let out_w = full_w - 2 * padding;
+
+    let w = weight.data();
+    let mut out = Tensor::zeros(vec![out_c, out_h, out_w]);
+    // Scatter each input element into the output through the kernel.
+    for ic in 0..in_c {
+        for iy in 0..in_h {
+            for ix in 0..in_w {
+                let v = input.at(ic, iy, ix);
+                for oc in 0..out_c {
+                    for ky in 0..kh {
+                        let oy = (iy * stride + ky) as isize - padding as isize;
+                        if oy < 0 || oy >= out_h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ox = (ix * stride + kx) as isize - padding as isize;
+                            if ox < 0 || ox >= out_w as isize {
+                                continue;
+                            }
+                            let wv = w[((ic * out_c + oc) * kh + ky) * kw + kx];
+                            *out.at_mut(oc, oy as usize, ox as usize) += v * wv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(b) = bias {
+        if b.len() != out_c {
+            return Err(Error::ShapeMismatch { expected: format!("[{out_c}] bias"), got: vec![b.len()] });
+        }
+        #[allow(clippy::needless_range_loop)] // oc indexes both bias and output
+        for oc in 0..out_c {
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    *out.at_mut(oc, oy, ox) += b[oc];
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Floating-point operations performed by [`deconv2d`].
+pub fn deconv2d_flops(in_c: usize, out_c: usize, in_h: usize, in_w: usize, kh: usize, kw: usize) -> u64 {
+    2 * (in_c * in_h * in_w * out_c * kh * kw) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::new(shape.to_vec(), data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn output_dim_matches_paper_eq3() {
+        // 5x5 input, 3x3 kernel, stride 2, no padding -> 2x2 (paper Fig. 3).
+        assert_eq!(conv_output_dim(5, 3, 2, 0).unwrap(), 2);
+        assert_eq!(conv_output_dim(7, 3, 1, 1).unwrap(), 7);
+        assert!(conv_output_dim(2, 5, 1, 0).is_err());
+        assert!(conv_output_dim(5, 3, 0, 0).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let input = t(&[1, 3, 3], &[1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        let weight = t(&[1, 1, 1, 1], &[1.0]);
+        let out = conv2d(&input, &weight, None, 1, 0).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn sum_kernel_matches_hand_computation() {
+        // 3x3 all-ones kernel over a 3x3 input sums everything.
+        let input = t(&[1, 3, 3], &[1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        let weight = t(&[1, 1, 3, 3], &[1.0; 9]);
+        let out = conv2d(&input, &weight, None, 1, 0).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 1]);
+        assert_eq!(out.data()[0], 45.0);
+    }
+
+    #[test]
+    fn paper_figure3_example() {
+        // The 5x5 input and 3x3 kernel of paper Fig. 3/4, stride 2: the first
+        // window is rows 0..3 x cols 0..3.
+        let input = t(
+            &[1, 5, 5],
+            &[
+                2., 1., 3., 0., 1., //
+                0., 4., 2., 1., 0., //
+                1., 0., 1., 2., 3., //
+                2., 1., 0., 1., 2., //
+                0., 3., 2., 1., 0.,
+            ],
+        );
+        let weight = t(&[1, 1, 3, 3], &[3., 0., 1., 0., 1., 0., 1., 0., 2.]);
+        let out = conv2d(&input, &weight, None, 2, 0).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        // Hand-computed window (0,0): 3*2 + 1*3 + 1*4 + 1*1 + 2*1 = 16.
+        assert_eq!(out.at(0, 0, 0), 16.0);
+    }
+
+    #[test]
+    fn stride_and_padding_change_geometry() {
+        let input = t(&[1, 4, 4], &[1.0; 16]);
+        let weight = t(&[1, 1, 3, 3], &[1.0; 9]);
+        let out = conv2d(&input, &weight, None, 1, 1).unwrap();
+        assert_eq!(out.shape(), &[1, 4, 4]);
+        // Corner sees only a 2x2 patch of ones.
+        assert_eq!(out.at(0, 0, 0), 4.0);
+        // Center sees the full 3x3 patch.
+        assert_eq!(out.at(0, 1, 1), 9.0);
+    }
+
+    #[test]
+    fn multi_channel_accumulates_across_input_channels() {
+        let input = t(&[2, 2, 2], &[1., 1., 1., 1., 2., 2., 2., 2.]);
+        let weight = t(&[1, 2, 2, 2], &[1.0; 8]);
+        let out = conv2d(&input, &weight, None, 1, 0).unwrap();
+        assert_eq!(out.data(), &[4.0 + 8.0]);
+    }
+
+    #[test]
+    fn bias_added_per_output_channel() {
+        let input = t(&[1, 1, 1], &[2.0]);
+        let weight = t(&[2, 1, 1, 1], &[3.0, 5.0]);
+        let out = conv2d(&input, &weight, Some(&[10.0, 20.0]), 1, 0).unwrap();
+        assert_eq!(out.data(), &[16.0, 30.0]);
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channel_count() {
+        let input = t(&[2, 3, 3], &[0.0; 18]);
+        let weight = t(&[1, 1, 3, 3], &[0.0; 9]);
+        assert!(conv2d(&input, &weight, None, 1, 0).is_err());
+    }
+
+    #[test]
+    fn deconv_inverts_geometry_of_conv() {
+        // conv(6, k=3, s=1, p=0) -> 4; deconv(4, k=3, s=1, p=0) -> 6.
+        let input = t(&[1, 4, 4], &[1.0; 16]);
+        let weight = t(&[1, 1, 3, 3], &[1.0; 9]);
+        let out = deconv2d(&input, &weight, None, 1, 0).unwrap();
+        assert_eq!(out.shape(), &[1, 6, 6]);
+    }
+
+    #[test]
+    fn deconv_scatter_matches_hand_computation() {
+        // Single input pixel scatters the kernel.
+        let input = t(&[1, 1, 1], &[2.0]);
+        let weight = t(&[1, 1, 2, 2], &[1., 2., 3., 4.]);
+        let out = deconv2d(&input, &weight, None, 1, 0).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[2., 4., 6., 8.]);
+    }
+
+    #[test]
+    fn deconv_stride_spreads_inputs() {
+        let input = t(&[1, 2, 2], &[1., 2., 3., 4.]);
+        let weight = t(&[1, 1, 1, 1], &[1.0]);
+        let out = deconv2d(&input, &weight, None, 2, 0).unwrap();
+        assert_eq!(out.shape(), &[1, 3, 3]);
+        assert_eq!(out.at(0, 0, 0), 1.0);
+        assert_eq!(out.at(0, 0, 2), 2.0);
+        assert_eq!(out.at(0, 2, 2), 4.0);
+        assert_eq!(out.at(0, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn flop_counts_are_positive_and_scale() {
+        let small = conv2d_flops(1, 1, 2, 2, 3, 3);
+        let big = conv2d_flops(2, 4, 8, 8, 3, 3);
+        assert!(small > 0 && big > small);
+        assert!(deconv2d_flops(1, 1, 2, 2, 3, 3) > 0);
+    }
+}

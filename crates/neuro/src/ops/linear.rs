@@ -1,0 +1,106 @@
+//! Full connection (dense) layers.
+//!
+//! The paper treats a full connection as "a specific CNN operator with
+//! kernel size 1 and no striding"; the DL2SQL compiler exploits exactly
+//! that equivalence. The direct implementation here is a plain
+//! matrix-vector product.
+
+use crate::error::{Error, Result};
+use crate::tensor::Tensor;
+
+/// `y = W x + b` where `weight` has shape `[out, in]`, `input` is `[in]`
+/// (or any shape with `in` total elements, which is implicitly flattened),
+/// and `bias` is optional `[out]`.
+pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Result<Tensor> {
+    let (out_dim, in_dim) = match weight.shape() {
+        [o, i] => (*o, *i),
+        _ => {
+            return Err(Error::ShapeMismatch {
+                expected: "[out, in] weight".into(),
+                got: weight.shape().to_vec(),
+            })
+        }
+    };
+    if input.len() != in_dim {
+        return Err(Error::ShapeMismatch {
+            expected: format!("[{in_dim}] input"),
+            got: input.shape().to_vec(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != out_dim {
+            return Err(Error::ShapeMismatch {
+                expected: format!("[{out_dim}] bias"),
+                got: vec![b.len()],
+            });
+        }
+    }
+    let w = weight.data();
+    let x = input.data();
+    let mut out = vec![0.0f32; out_dim];
+    for (o, slot) in out.iter_mut().enumerate() {
+        let row = &w[o * in_dim..(o + 1) * in_dim];
+        let mut acc = bias.map_or(0.0, |b| b[o]);
+        for (wv, xv) in row.iter().zip(x.iter()) {
+            acc += wv * xv;
+        }
+        *slot = acc;
+    }
+    Tensor::new(vec![out_dim], out)
+}
+
+/// Floating-point work of a dense layer: two ops per weight.
+pub fn linear_flops(in_dim: usize, out_dim: usize) -> u64 {
+    2 * (in_dim * out_dim) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_vector_product() {
+        let w = Tensor::new(vec![2, 3], vec![1., 0., 0., 0., 1., 1.]).unwrap();
+        let x = Tensor::vector(&[2.0, 3.0, 4.0]);
+        let y = linear(&x, &w, None).unwrap();
+        assert_eq!(y.data(), &[2.0, 7.0]);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let w = Tensor::new(vec![1, 1], vec![2.0]).unwrap();
+        let x = Tensor::vector(&[3.0]);
+        let y = linear(&x, &w, Some(&[0.5])).unwrap();
+        assert_eq!(y.data(), &[6.5]);
+    }
+
+    #[test]
+    fn feature_map_input_is_flattened() {
+        let w = Tensor::new(vec![1, 4], vec![1.0; 4]).unwrap();
+        let x = Tensor::new(vec![1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let y = linear(&x, &w, None).unwrap();
+        assert_eq!(y.data(), &[10.0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let w = Tensor::new(vec![2, 3], vec![0.0; 6]).unwrap();
+        let x = Tensor::vector(&[1.0, 2.0]);
+        assert!(linear(&x, &w, None).is_err());
+        let x3 = Tensor::vector(&[1.0, 2.0, 3.0]);
+        assert!(linear(&x3, &w, Some(&[0.0])).is_err());
+    }
+
+    #[test]
+    fn equivalent_to_1x1_conv() {
+        // The paper's claim: FC == conv with kernel 1 and no striding when
+        // the input is a [C,1,1] map.
+        use crate::ops::conv::conv2d;
+        let x = Tensor::new(vec![3, 1, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let w_fc = Tensor::new(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let w_conv = Tensor::new(vec![2, 3, 1, 1], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let fc = linear(&x, &w_fc, None).unwrap();
+        let conv = conv2d(&x, &w_conv, None, 1, 0).unwrap();
+        assert_eq!(fc.data(), conv.data());
+    }
+}

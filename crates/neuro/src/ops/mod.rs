@@ -1,0 +1,23 @@
+//! Operator kernels.
+//!
+//! Each operator is a free function over [`crate::tensor::Tensor`]s plus a
+//! `*_flops` companion that reports the floating-point work the call
+//! performs. The flop counts feed [`crate::device::SimClock`], which is how
+//! the reproduction models the paper's edge-CPU / server-CPU / server-GPU
+//! hardware matrix on a single host.
+
+pub mod activation;
+pub mod attention;
+pub mod conv;
+pub mod linear;
+pub mod norm;
+pub mod pool;
+pub mod softmax;
+
+pub use activation::{relu, relu_flops, sigmoid, sigmoid_flops};
+pub use attention::{basic_attention, basic_attention_flops};
+pub use conv::{conv2d, conv2d_flops, conv_output_dim, deconv2d, deconv2d_flops};
+pub use linear::{linear, linear_flops};
+pub use norm::{batch_norm, instance_norm, norm_flops};
+pub use pool::{avg_pool2d, global_avg_pool, max_pool2d, pool_flops};
+pub use softmax::{softmax, softmax_flops};

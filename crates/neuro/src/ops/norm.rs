@@ -1,0 +1,154 @@
+//! Batch and instance normalization.
+//!
+//! The paper's SQL implementation (query Q4) normalizes each feature-map
+//! table with `(Value - AVG(Value)) / (stddevSamp(Value) + eps)` computed
+//! over the *current* activations — with per-query batches of one image,
+//! batch statistics coincide with per-channel statistics of that image. The
+//! implementations here use the same convention so the SQL execution and
+//! this engine produce bit-comparable activations:
+//!
+//! * [`batch_norm`] — statistics pooled over **all** channels of the map
+//!   (the SQL keeps one feature-map table per channel only when channels
+//!   are stored separately; the distilled student model in the paper stores
+//!   one table per channel, so per-channel statistics — see
+//!   [`instance_norm`] — are what its generated SQL computes), then an
+//!   optional affine transform.
+//! * [`instance_norm`] — statistics per channel.
+//!
+//! Note the paper (and therefore this reproduction) uses the *sample*
+//! standard deviation (`stddevSamp`) and adds `eps` to the denominator
+//! rather than under the square root.
+
+use crate::error::Result;
+use crate::tensor::Tensor;
+
+/// Default epsilon, matching the `0.00005` literal in the paper's Q4.
+pub const DEFAULT_EPS: f32 = 5e-5;
+
+/// Mean and sample standard deviation of a slice. An empty or length-1
+/// slice yields a zero standard deviation.
+fn mean_stddev_samp(values: &[f32]) -> (f32, f32) {
+    let n = values.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f32>() / n as f32;
+    if n == 1 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (n - 1) as f32;
+    (mean, var.sqrt())
+}
+
+/// Batch normalization over the whole tensor: `(x - mean) / (stddev + eps)`,
+/// optionally followed by `gamma * x + beta`.
+pub fn batch_norm(input: &Tensor, eps: f32, affine: Option<(&[f32], &[f32])>) -> Result<Tensor> {
+    let (mean, std) = mean_stddev_samp(input.data());
+    let denom = std + eps;
+    let mut out = input.clone();
+    match input.as_chw() {
+        Ok((c, h, w)) => {
+            // Per-channel affine for feature maps.
+            if let Some((gamma, beta)) = affine {
+                for ch in 0..c {
+                    let (g, b) = (gamma[ch % gamma.len()], beta[ch % beta.len()]);
+                    for y in 0..h {
+                        for x in 0..w {
+                            let v = (input.at(ch, y, x) - mean) / denom;
+                            *out.at_mut(ch, y, x) = g * v + b;
+                        }
+                    }
+                }
+            } else {
+                for v in out.data_mut() {
+                    *v = (*v - mean) / denom;
+                }
+            }
+        }
+        Err(_) => {
+            // Vector input: affine is element-wise if provided.
+            for (i, v) in out.data_mut().iter_mut().enumerate() {
+                let normed = (*v - mean) / denom;
+                *v = match affine {
+                    Some((gamma, beta)) => gamma[i % gamma.len()] * normed + beta[i % beta.len()],
+                    None => normed,
+                };
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Instance normalization: each channel of a `[C, H, W]` map is normalized
+/// with its own statistics.
+pub fn instance_norm(input: &Tensor, eps: f32) -> Result<Tensor> {
+    let (c, h, w) = input.as_chw()?;
+    let mut out = input.clone();
+    let plane = h * w;
+    for ch in 0..c {
+        let slice = &input.data()[ch * plane..(ch + 1) * plane];
+        let (mean, std) = mean_stddev_samp(slice);
+        let denom = std + eps;
+        for v in &mut out.data_mut()[ch * plane..(ch + 1) * plane] {
+            *v = (*v - mean) / denom;
+        }
+    }
+    Ok(out)
+}
+
+/// Floating-point work of a normalization pass: two reduction passes plus
+/// one normalization pass over the data.
+pub fn norm_flops(elements: usize) -> u64 {
+    5 * elements as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_norm_centres_data() {
+        let t = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let out = batch_norm(&t, 0.0, None).unwrap();
+        let sum: f32 = out.data().iter().sum();
+        assert!(sum.abs() < 1e-6);
+        // stddevSamp([1,2,3]) = 1, so normalized values are -1, 0, 1.
+        assert!((out.data()[0] + 1.0).abs() < 1e-6);
+        assert!((out.data()[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eps_is_added_to_denominator_not_under_sqrt() {
+        // Constant input: std = 0, so output is 0/eps = 0 everywhere rather
+        // than a division by zero.
+        let t = Tensor::vector(&[4.0, 4.0, 4.0]);
+        let out = batch_norm(&t, DEFAULT_EPS, None).unwrap();
+        assert!(out.data().iter().all(|v| v.is_finite() && *v == 0.0));
+    }
+
+    #[test]
+    fn affine_scales_and_shifts() {
+        let t = Tensor::vector(&[1.0, 3.0]);
+        let out = batch_norm(&t, 0.0, Some((&[2.0], &[10.0]))).unwrap();
+        // normalized = [-1/sqrt(2), 1/sqrt(2)] (sample std of [1,3] = sqrt(2)).
+        let s = 2.0f32.sqrt();
+        assert!((out.data()[0] - (2.0 * (-1.0 / s) + 10.0)).abs() < 1e-5);
+        assert!((out.data()[1] - (2.0 * (1.0 / s) + 10.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn instance_norm_isolates_channels() {
+        // Channel 0 is constant, channel 1 varies; their statistics must not mix.
+        let t = Tensor::new(vec![2, 1, 2], vec![5.0, 5.0, 0.0, 10.0]).unwrap();
+        let out = instance_norm(&t, DEFAULT_EPS).unwrap();
+        assert_eq!(out.data()[0], 0.0);
+        assert_eq!(out.data()[1], 0.0);
+        assert!(out.data()[2] < 0.0 && out.data()[3] > 0.0);
+    }
+
+    #[test]
+    fn single_element_has_zero_stddev() {
+        let (mean, std) = mean_stddev_samp(&[7.0]);
+        assert_eq!((mean, std), (7.0, 0.0));
+    }
+}

@@ -1,0 +1,136 @@
+//! Max / average pooling.
+//!
+//! DL2SQL realizes pooling as a group-by aggregate over the feature-map
+//! table (paper query Q3); these direct implementations are the reference.
+
+use crate::error::Result;
+use crate::ops::conv::conv_output_dim;
+use crate::tensor::Tensor;
+
+/// Shared sliding-window reducer. `init` seeds the accumulator, `fold`
+/// combines it with each window element, and `finish` maps the accumulator
+/// plus window size to the pooled value.
+fn pool2d<F, G>(input: &Tensor, kernel: usize, stride: usize, init: f32, fold: F, finish: G) -> Result<Tensor>
+where
+    F: Fn(f32, f32) -> f32,
+    G: Fn(f32, usize) -> f32,
+{
+    let (c, h, w) = input.as_chw()?;
+    let out_h = conv_output_dim(h, kernel, stride, 0)?;
+    let out_w = conv_output_dim(w, kernel, stride, 0)?;
+    let mut out = Tensor::zeros(vec![c, out_h, out_w]);
+    for ch in 0..c {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut acc = init;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        acc = fold(acc, input.at(ch, oy * stride + ky, ox * stride + kx));
+                    }
+                }
+                *out.at_mut(ch, oy, ox) = finish(acc, kernel * kernel);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Max pooling with a square `kernel` and `stride` (no padding).
+pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor> {
+    pool2d(input, kernel, stride, f32::NEG_INFINITY, f32::max, |acc, _| acc)
+}
+
+/// Average pooling with a square `kernel` and `stride` (no padding).
+pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor> {
+    pool2d(input, kernel, stride, 0.0, |a, b| a + b, |acc, n| acc / n as f32)
+}
+
+/// Global average pooling: collapses each channel of a `[C, H, W]` map to a
+/// single value, producing a `[C]` vector. Standard classification-head prep
+/// for the ResNet family.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let (c, h, w) = input.as_chw()?;
+    let area = (h * w) as f32;
+    let mut out = vec![0.0f32; c];
+    for (ch, slot) in out.iter_mut().enumerate() {
+        let mut sum = 0.0;
+        for y in 0..h {
+            for x in 0..w {
+                sum += input.at(ch, y, x);
+            }
+        }
+        *slot = sum / area;
+    }
+    Tensor::new(vec![c], out)
+}
+
+/// Floating-point work of a pooling pass: one op per window element.
+pub fn pool_flops(c: usize, out_h: usize, out_w: usize, kernel: usize) -> u64 {
+    (c * out_h * out_w * kernel * kernel) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::new(shape.to_vec(), data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let input = t(&[1, 4, 4], &[
+            1., 2., 5., 6., //
+            3., 4., 7., 8., //
+            9., 10., 13., 14., //
+            11., 12., 15., 16.,
+        ]);
+        let out = max_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn avg_pool_averages_windows() {
+        let input = t(&[1, 2, 2], &[1., 3., 5., 7.]);
+        let out = avg_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.data(), &[4.0]);
+    }
+
+    #[test]
+    fn overlapping_stride_one_windows() {
+        let input = t(&[1, 3, 3], &[1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        let out = max_pool2d(&input, 2, 1).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[5., 6., 8., 9.]);
+    }
+
+    #[test]
+    fn pooling_is_per_channel() {
+        let input = t(&[2, 2, 2], &[1., 2., 3., 4., 10., 20., 30., 40.]);
+        let out = max_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.shape(), &[2, 1, 1]);
+        assert_eq!(out.data(), &[4., 40.]);
+    }
+
+    #[test]
+    fn max_pool_handles_negative_values() {
+        let input = t(&[1, 2, 2], &[-4., -3., -2., -1.]);
+        let out = max_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.data(), &[-1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_collapses_spatial_dims() {
+        let input = t(&[2, 2, 2], &[1., 1., 1., 1., 2., 4., 6., 8.]);
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.shape(), &[2]);
+        assert_eq!(out.data(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn kernel_larger_than_input_is_rejected() {
+        let input = t(&[1, 2, 2], &[0.0; 4]);
+        assert!(max_pool2d(&input, 3, 1).is_err());
+    }
+}

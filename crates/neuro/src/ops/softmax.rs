@@ -1,0 +1,59 @@
+//! Numerically-stable softmax — the classification head ("Classification"
+//! bar in paper Fig. 9).
+
+use crate::tensor::Tensor;
+
+/// Softmax over all elements, computed with the max-subtraction trick so
+/// large logits do not overflow.
+pub fn softmax(input: &Tensor) -> Tensor {
+    let max = input.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut out = input.clone();
+    let mut sum = 0.0f32;
+    for v in out.data_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in out.data_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Floating-point work of a softmax pass.
+pub fn softmax_flops(elements: usize) -> u64 {
+    4 * elements as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_to_one() {
+        let s = softmax(&Tensor::vector(&[1.0, 2.0, 3.0]));
+        let sum: f32 = s.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preserves_ordering() {
+        let s = softmax(&Tensor::vector(&[0.5, 2.0, -1.0]));
+        assert_eq!(s.argmax(), 1);
+        assert!(s.data()[0] > s.data()[2]);
+    }
+
+    #[test]
+    fn stable_for_large_logits() {
+        let s = softmax(&Tensor::vector(&[1000.0, 1001.0]));
+        assert!(s.data().iter().all(|v| v.is_finite()));
+        assert!((s.data()[1] - 1.0 / (1.0 + (-1.0f32).exp())).abs() < 1e-5);
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_distribution() {
+        let s = softmax(&Tensor::vector(&[3.0; 4]));
+        assert!(s.data().iter().all(|v| (v - 0.25).abs() < 1e-6));
+    }
+}

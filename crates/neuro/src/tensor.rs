@@ -1,0 +1,254 @@
+//! Dense row-major `f32` tensors.
+//!
+//! Feature maps use the `[channels, height, width]` layout throughout the
+//! crate; vectors (FC activations, logits) use `[len]`. Batches are handled
+//! at the [`crate::model::Model`] level by iterating over samples, which
+//! matches how the paper's edge deployment feeds keyframes one query row at
+//! a time.
+
+use crate::error::{Error, Result};
+
+/// A dense, row-major tensor of `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and matching flat data.
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(Error::ShapeMismatch {
+                expected: format!("{expected} elements for shape {shape:?}"),
+                got: vec![data.len()],
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// A 1-D tensor borrowing from a slice.
+    pub fn vector(values: &[f32]) -> Self {
+        Tensor { shape: vec![values.len()], data: values.to_vec() }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(Error::ShapeMismatch {
+                expected: format!("{expected} elements for shape {shape:?}"),
+                got: self.shape.clone(),
+            });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Interprets the tensor as a `[C, H, W]` feature map.
+    pub fn as_chw(&self) -> Result<(usize, usize, usize)> {
+        match self.shape.as_slice() {
+            [c, h, w] => Ok((*c, *h, *w)),
+            _ => Err(Error::ShapeMismatch { expected: "[C,H,W]".into(), got: self.shape.clone() }),
+        }
+    }
+
+    /// Element at `(c, y, x)` of a `[C, H, W]` feature map. Panics on
+    /// out-of-bounds access; callers validate shapes up front.
+    #[inline]
+    pub fn at(&self, c: usize, y: usize, x: usize) -> f32 {
+        let (_, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        self.data[(c * h + y) * w + x]
+    }
+
+    /// Mutable element at `(c, y, x)` of a `[C, H, W]` feature map.
+    #[inline]
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
+        let (h, w) = (self.shape[1], self.shape[2]);
+        &mut self.data[(c * h + y) * w + x]
+    }
+
+    /// Element-wise addition; shapes must match exactly.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(Error::ShapeMismatch {
+                expected: format!("{:?}", self.shape),
+                got: other.shape.clone(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// Concatenates feature maps along the channel axis (used by dense
+    /// blocks). All inputs must share `H` and `W`.
+    pub fn concat_channels(parts: &[Tensor]) -> Result<Tensor> {
+        let (_, h, w) = parts
+            .first()
+            .ok_or_else(|| Error::InvalidConfig("concat of zero tensors".into()))?
+            .as_chw()?;
+        let mut total_c = 0;
+        let mut data = Vec::new();
+        for p in parts {
+            let (c, ph, pw) = p.as_chw()?;
+            if (ph, pw) != (h, w) {
+                return Err(Error::ShapeMismatch {
+                    expected: format!("[*, {h}, {w}]"),
+                    got: p.shape.clone(),
+                });
+            }
+            total_c += c;
+            data.extend_from_slice(&p.data);
+        }
+        Ok(Tensor { shape: vec![total_c, h, w], data })
+    }
+
+    /// Maximum absolute difference between two equally-shaped tensors.
+    /// Used by cross-checking tests that compare the SQL execution of a
+    /// network with this engine's execution.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(Error::ShapeMismatch {
+                expected: format!("{:?}", self.shape),
+                got: other.shape.clone(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+
+    /// Index of the maximum element (ties broken toward the lower index).
+    /// This is the classification decision of a softmax head.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_checks_element_count() {
+        assert!(Tensor::new(vec![2, 2], vec![1.0; 4]).is_ok());
+        assert!(Tensor::new(vec![2, 2], vec![1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(vec![3, 2]);
+        assert_eq!(z.len(), 6);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let f = Tensor::full(vec![2], 7.5);
+        assert_eq!(f.data(), &[7.5, 7.5]);
+    }
+
+    #[test]
+    fn chw_indexing_is_row_major() {
+        let t = Tensor::new(vec![1, 2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(t.at(0, 0, 0), 0.0);
+        assert_eq!(t.at(0, 0, 2), 2.0);
+        assert_eq!(t.at(0, 1, 0), 3.0);
+        assert_eq!(t.at(0, 1, 2), 5.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::vector(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t.reshape(vec![2, 2]).unwrap();
+        assert_eq!(r.shape(), &[2, 2]);
+        assert!(Tensor::vector(&[1.0]).reshape(vec![2]).is_err());
+    }
+
+    #[test]
+    fn add_requires_matching_shapes() {
+        let a = Tensor::vector(&[1.0, 2.0]);
+        let b = Tensor::vector(&[3.0, 4.0]);
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 6.0]);
+        let c = Tensor::vector(&[1.0]);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn concat_channels_stacks() {
+        let a = Tensor::new(vec![1, 2, 2], vec![1.0; 4]).unwrap();
+        let b = Tensor::new(vec![2, 2, 2], vec![2.0; 8]).unwrap();
+        let c = Tensor::concat_channels(&[a, b]).unwrap();
+        assert_eq!(c.shape(), &[3, 2, 2]);
+        assert_eq!(c.data()[0], 1.0);
+        assert_eq!(c.data()[4], 2.0);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(Tensor::vector(&[1.0, 3.0, 3.0]).argmax(), 1);
+        assert_eq!(Tensor::vector(&[-1.0, -2.0]).argmax(), 0);
+    }
+
+    #[test]
+    fn max_abs_diff_measures_divergence() {
+        let a = Tensor::vector(&[1.0, 2.0]);
+        let b = Tensor::vector(&[1.5, 1.0]);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests on operator algebra: linearity of convolution,
+//! idempotence of ReLU, norm invariances — cheap invariants that catch
+//! indexing mistakes a fixed example can miss.
+
+use neuro::ops;
+use neuro::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, c * h * w)
+        .prop_map(move |data| Tensor::new(vec![c, h, w], data).expect("shape matches"))
+}
+
+fn weight_strategy(oc: usize, ic: usize, k: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-1.0f32..1.0, oc * ic * k * k)
+        .prop_map(move |data| Tensor::new(vec![oc, ic, k, k], data).expect("shape matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// conv(a·x, W) == a·conv(x, W) (homogeneity).
+    #[test]
+    fn conv_is_homogeneous(x in tensor_strategy(2, 6, 6), w in weight_strategy(3, 2, 3), a in -3.0f32..3.0) {
+        let scaled_in = Tensor::new(
+            x.shape().to_vec(),
+            x.data().iter().map(|v| a * v).collect(),
+        ).unwrap();
+        let lhs = ops::conv2d(&scaled_in, &w, None, 1, 0).unwrap();
+        let base = ops::conv2d(&x, &w, None, 1, 0).unwrap();
+        let rhs = Tensor::new(
+            base.shape().to_vec(),
+            base.data().iter().map(|v| a * v).collect(),
+        ).unwrap();
+        let diff = lhs.max_abs_diff(&rhs).unwrap();
+        prop_assert!(diff < 1e-3, "diff {}", diff);
+    }
+
+    /// conv(x + y, W) == conv(x, W) + conv(y, W) (additivity).
+    #[test]
+    fn conv_is_additive(x in tensor_strategy(1, 5, 5), y in tensor_strategy(1, 5, 5), w in weight_strategy(2, 1, 3)) {
+        let sum_in = x.add(&y).unwrap();
+        let lhs = ops::conv2d(&sum_in, &w, None, 1, 0).unwrap();
+        let rhs = ops::conv2d(&x, &w, None, 1, 0)
+            .unwrap()
+            .add(&ops::conv2d(&y, &w, None, 1, 0).unwrap())
+            .unwrap();
+        let diff = lhs.max_abs_diff(&rhs).unwrap();
+        prop_assert!(diff < 1e-4, "diff {}", diff);
+    }
+
+    /// ReLU is idempotent and never increases magnitude.
+    #[test]
+    fn relu_properties(x in tensor_strategy(1, 4, 4)) {
+        let once = ops::relu(&x);
+        prop_assert_eq!(&ops::relu(&once), &once);
+        for (a, b) in once.data().iter().zip(x.data()) {
+            prop_assert!(*a >= 0.0);
+            prop_assert!(a.abs() <= b.abs() + 1e-9);
+        }
+    }
+
+    /// Max pooling commutes with monotone shifts: pool(x + c) = pool(x) + c.
+    #[test]
+    fn max_pool_commutes_with_shift(x in tensor_strategy(1, 6, 6), c in -5.0f32..5.0) {
+        let shifted = Tensor::new(
+            x.shape().to_vec(),
+            x.data().iter().map(|v| v + c).collect(),
+        ).unwrap();
+        let lhs = ops::max_pool2d(&shifted, 2, 2).unwrap();
+        let base = ops::max_pool2d(&x, 2, 2).unwrap();
+        let rhs = Tensor::new(
+            base.shape().to_vec(),
+            base.data().iter().map(|v| v + c).collect(),
+        ).unwrap();
+        let diff = lhs.max_abs_diff(&rhs).unwrap();
+        prop_assert!(diff < 1e-4);
+    }
+
+    /// Instance norm is shift-invariant per channel (constant offsets
+    /// vanish) and produces ~zero-mean channels.
+    #[test]
+    fn instance_norm_shift_invariance(x in tensor_strategy(2, 4, 4), c in -10.0f32..10.0) {
+        let shifted = Tensor::new(
+            x.shape().to_vec(),
+            x.data().iter().map(|v| v + c).collect(),
+        ).unwrap();
+        let a = ops::instance_norm(&x, 1e-5).unwrap();
+        let b = ops::instance_norm(&shifted, 1e-5).unwrap();
+        let diff = a.max_abs_diff(&b).unwrap();
+        prop_assert!(diff < 1e-2, "shift changed the normalized output by {}", diff);
+        // Per-channel mean ~ 0.
+        for ch in 0..2 {
+            let mean: f32 = (0..16).map(|i| a.data()[ch * 16 + i]).sum::<f32>() / 16.0;
+            prop_assert!(mean.abs() < 1e-3);
+        }
+    }
+
+    /// Softmax is invariant under uniform logit shifts.
+    #[test]
+    fn softmax_shift_invariance(logits in proptest::collection::vec(-5.0f32..5.0, 2..8), c in -10.0f32..10.0) {
+        let x = Tensor::vector(&logits);
+        let shifted = Tensor::vector(&logits.iter().map(|v| v + c).collect::<Vec<_>>());
+        let a = ops::softmax(&x);
+        let b = ops::softmax(&shifted);
+        let diff = a.max_abs_diff(&b).unwrap();
+        prop_assert!(diff < 1e-5);
+    }
+
+    /// FC == 1x1 convolution over a [C,1,1] state, for arbitrary weights
+    /// (the equivalence the DL2SQL compiler relies on).
+    #[test]
+    fn fc_equals_1x1_conv(
+        weights in proptest::collection::vec(-1.0f32..1.0, 12),
+        input in proptest::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let w_fc = Tensor::new(vec![3, 4], weights.clone()).unwrap();
+        let w_conv = Tensor::new(vec![3, 4, 1, 1], weights).unwrap();
+        let x = Tensor::new(vec![4, 1, 1], input).unwrap();
+        let fc = ops::linear(&x, &w_fc, None).unwrap();
+        let conv = ops::conv2d(&x, &w_conv, None, 1, 0).unwrap();
+        for (a, b) in fc.data().iter().zip(conv.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

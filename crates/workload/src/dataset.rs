@@ -1,0 +1,333 @@
+//! The five-table synthetic IoT dataset.
+//!
+//! Paper Sec. V: "Our testing database consists of five tables: video,
+//! fabric, client, order, and device. ... There are 100 million tuples in
+//! total (the sizes of tables follow a ratio of 100:10:1:10:1)."
+//!
+//! The generator keeps the schema, the ratio and uniform value
+//! distributions (so predicate selectivities are exactly controllable),
+//! and scales the absolute row counts to laptop size. Keyframes are
+//! deterministic pseudo-random tensors serialized as blobs.
+
+use collab::tensor_to_blob;
+use minidb::value::parse_date;
+use minidb::{Column, Database, DataType, Field, Result, Schema, Table};
+use neuro::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The first day of the simulated year of production.
+pub const DATE_EPOCH: &str = "2021-01-01";
+/// Days covered by the dataset (printdate/date are uniform over this
+/// range; a window of `s * DATE_SPAN_DAYS` days has selectivity `s`).
+pub const DATE_SPAN_DAYS: i32 = 365;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Rows of the `video` table; other tables follow the 100:10:1:10:1
+    /// ratio (fabric = video/10, client = video/100, order = video/10,
+    /// device = video/100, all at least 1).
+    pub video_rows: usize,
+    /// Keyframe tensor shape (the paper's 224×224×3 scaled down).
+    pub keyframe_shape: Vec<usize>,
+    /// Number of distinct fabric patterns.
+    pub patterns: usize,
+    /// RNG seed — the dataset is fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            video_rows: 2000,
+            keyframe_shape: vec![1, 12, 12],
+            patterns: 8,
+            seed: 2021,
+        }
+    }
+}
+
+/// Row counts of the generated tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSummary {
+    pub video_rows: usize,
+    pub fabric_rows: usize,
+    pub client_rows: usize,
+    pub order_rows: usize,
+    pub device_rows: usize,
+}
+
+impl DatasetSummary {
+    /// Total tuples across the five tables.
+    pub fn total_rows(&self) -> usize {
+        self.video_rows + self.fabric_rows + self.client_rows + self.order_rows + self.device_rows
+    }
+}
+
+/// A deterministic keyframe for a video row.
+pub fn keyframe(shape: &[usize], seed: u64, video_id: u64) -> Tensor {
+    let mut state = seed ^ video_id.wrapping_mul(0x9E3779B97F4A7C15);
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 2001) as f32 / 1000.0 - 1.0
+        })
+        .collect();
+    Tensor::new(shape.to_vec(), data).expect("shape/data consistent")
+}
+
+/// Builds the five tables into `db` and returns the row counts.
+pub fn build_dataset(db: &Database, config: &DatasetConfig) -> Result<DatasetSummary> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let epoch = parse_date(DATE_EPOCH)?;
+
+    let video_rows = config.video_rows.max(1);
+    let fabric_rows = (video_rows / 10).max(1);
+    let client_rows = (video_rows / 100).max(1);
+    let order_rows = (video_rows / 10).max(1);
+    let device_rows = (video_rows / 100).max(1);
+
+    // ---- client ---------------------------------------------------------
+    let regions = ["east", "south", "west", "north"];
+    let client = Table::new(
+        Schema::new(vec![
+            Field::new("clientID", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("region", DataType::Utf8),
+        ]),
+        vec![
+            Column::Int64((0..client_rows as i64).collect()),
+            Column::Utf8((0..client_rows).map(|i| format!("client_{i}")).collect()),
+            Column::Utf8((0..client_rows).map(|i| regions[i % regions.len()].to_string()).collect()),
+        ],
+    )?;
+    db.catalog().create_table("client", client, true)?;
+
+    // ---- device (printer sensors) -----------------------------------------
+    let device = Table::new(
+        Schema::new(vec![
+            Field::new("deviceID", DataType::Int64),
+            Field::new("model", DataType::Utf8),
+            Field::new("location", DataType::Utf8),
+            Field::new("base_temperature", DataType::Float64),
+            Field::new("base_humidity", DataType::Float64),
+        ]),
+        vec![
+            Column::Int64((0..device_rows as i64).collect()),
+            Column::Utf8((0..device_rows).map(|i| format!("printer_v{}", i % 3 + 1)).collect()),
+            Column::Utf8((0..device_rows).map(|i| format!("hall_{}", i % 5)).collect()),
+            Column::Float64((0..device_rows).map(|_| rng.random_range(18.0..42.0)).collect()),
+            Column::Float64((0..device_rows).map(|_| rng.random_range(45.0..95.0)).collect()),
+        ],
+    )?;
+    db.catalog().create_table("device", device, true)?;
+
+    // ---- order ------------------------------------------------------------
+    let order = Table::new(
+        Schema::new(vec![
+            Field::new("orderID", DataType::Int64),
+            Field::new("clientID", DataType::Int64),
+            Field::new("orderdate", DataType::Date),
+            Field::new("quantity", DataType::Int64),
+        ]),
+        vec![
+            Column::Int64((0..order_rows as i64).collect()),
+            Column::Int64((0..order_rows).map(|_| rng.random_range(0..client_rows as i64)).collect()),
+            Column::Date((0..order_rows).map(|_| epoch + rng.random_range(0..DATE_SPAN_DAYS)).collect()),
+            Column::Int64((0..order_rows).map(|_| rng.random_range(1..500)).collect()),
+        ],
+    )?;
+    db.catalog().create_table("order", order, true)?;
+
+    // ---- fabric (the main table: transactions + aggregated sensor data) ----
+    // Values are uniform so predicate selectivities are exact:
+    // humidity ∈ [50,100), temperature ∈ [20,45), printdate uniform over
+    // the year.
+    let fabric_dates: Vec<i32> = (0..fabric_rows)
+        .map(|i| epoch + ((i as i64 * DATE_SPAN_DAYS as i64) / fabric_rows as i64) as i32)
+        .collect();
+    let fabric = Table::new(
+        Schema::new(vec![
+            Field::new("transID", DataType::Int64),
+            Field::new("patternID", DataType::Int64),
+            Field::new("meter", DataType::Float64),
+            Field::new("printdate", DataType::Date),
+            Field::new("humidity", DataType::Float64),
+            Field::new("temperature", DataType::Float64),
+            Field::new("orderID", DataType::Int64),
+            Field::new("deviceID", DataType::Int64),
+        ]),
+        vec![
+            Column::Int64((0..fabric_rows as i64).collect()),
+            Column::Int64((0..fabric_rows).map(|_| rng.random_range(0..config.patterns as i64)).collect()),
+            Column::Float64((0..fabric_rows).map(|_| rng.random_range(0.5..30.0)).collect()),
+            Column::Date(fabric_dates.clone()),
+            // Humidity is exactly uniform but *permuted* relative to the
+            // row order (printdate is monotone in the row index; without
+            // the permutation, humidity and date predicates would select
+            // disjoint index ranges instead of independent ones).
+            Column::Float64({
+                let p = [7919usize, 104729, 1299709]
+                    .into_iter()
+                    .find(|p| gcd(*p, fabric_rows) == 1)
+                    .unwrap_or(1);
+                (0..fabric_rows)
+                    .map(|i| 50.0 + 50.0 * ((i * p % fabric_rows) as f64 + 0.5) / fabric_rows as f64)
+                    .collect()
+            }),
+            Column::Float64((0..fabric_rows).map(|_| rng.random_range(20.0..45.0)).collect()),
+            Column::Int64((0..fabric_rows).map(|_| rng.random_range(0..order_rows as i64)).collect()),
+            Column::Int64((0..fabric_rows).map(|_| rng.random_range(0..device_rows as i64)).collect()),
+        ],
+    )?;
+    db.catalog().create_table("fabric", fabric, true)?;
+
+    // ---- video (keyframes; ~10 clips per fabric transaction) --------------
+    let mut keyframes = Column::empty(DataType::Blob);
+    for v in 0..video_rows as u64 {
+        keyframes.push(tensor_to_blob(&keyframe(&config.keyframe_shape, config.seed, v)))?;
+    }
+    let video = Table::new(
+        Schema::new(vec![
+            Field::new("videoID", DataType::Int64),
+            Field::new("transID", DataType::Int64),
+            Field::new("date", DataType::Date),
+            Field::new("keyframe", DataType::Blob),
+        ]),
+        vec![
+            Column::Int64((0..video_rows as i64).collect()),
+            Column::Int64((0..video_rows).map(|i| (i % fabric_rows) as i64).collect()),
+            Column::Date((0..video_rows).map(|i| fabric_dates[i % fabric_rows]).collect()),
+            keyframes,
+        ],
+    )?;
+    db.catalog().create_table("video", video, true)?;
+
+    Ok(DatasetSummary { video_rows, fabric_rows, client_rows, order_rows, device_rows })
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The end (exclusive) of a printdate window whose selectivity over the
+/// uniform year is `selectivity` (e.g. 0.001 → "2021-01-01" plus 0.4 days).
+pub fn date_upper_bound_for_selectivity(selectivity: f64) -> String {
+    let days = (selectivity.clamp(0.0, 1.0) * DATE_SPAN_DAYS as f64).ceil().max(1.0) as i32;
+    let epoch = parse_date(DATE_EPOCH).expect("epoch parses");
+    minidb::value::format_date(epoch + days)
+}
+
+/// A humidity threshold whose `humidity > t` selectivity is `selectivity`
+/// (humidity is uniform on [50, 100)).
+pub fn humidity_threshold_for_selectivity(selectivity: f64) -> f64 {
+    100.0 - 50.0 * selectivity.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::Value;
+
+    #[test]
+    fn ratio_follows_the_paper() {
+        let db = Database::new();
+        let s = build_dataset(&db, &DatasetConfig { video_rows: 1000, ..Default::default() }).unwrap();
+        assert_eq!(s.video_rows, 1000);
+        assert_eq!(s.fabric_rows, 100);
+        assert_eq!(s.client_rows, 10);
+        assert_eq!(s.order_rows, 100);
+        assert_eq!(s.device_rows, 10);
+        assert_eq!(s.total_rows(), 1220);
+        for t in ["video", "fabric", "client", "order", "device"] {
+            assert!(db.catalog().table(t).is_some(), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn dataset_is_deterministic_per_seed() {
+        let a = Database::new();
+        let b = Database::new();
+        let cfg = DatasetConfig { video_rows: 200, ..Default::default() };
+        build_dataset(&a, &cfg).unwrap();
+        build_dataset(&b, &cfg).unwrap();
+        let ta = a.catalog().table("fabric").unwrap();
+        let tb = b.catalog().table("fabric").unwrap();
+        assert_eq!(*ta, *tb);
+    }
+
+    #[test]
+    fn selectivity_helpers_hit_their_targets() {
+        let db = Database::new();
+        build_dataset(&db, &DatasetConfig { video_rows: 5000, ..Default::default() }).unwrap();
+        // Humidity is exactly uniform by construction.
+        for s in [0.1, 0.5] {
+            let t = humidity_threshold_for_selectivity(s);
+            let hit = db
+                .execute(&format!("SELECT count(*) FROM fabric WHERE humidity > {t}"))
+                .unwrap()
+                .table()
+                .column(0)
+                .i64_at(0) as f64;
+            let frac = hit / 500.0;
+            assert!((frac - s).abs() < 0.02, "selectivity {s}: got {frac}");
+        }
+    }
+
+    #[test]
+    fn date_window_selectivity_is_controllable() {
+        let db = Database::new();
+        build_dataset(&db, &DatasetConfig { video_rows: 5000, ..Default::default() }).unwrap();
+        let upper = date_upper_bound_for_selectivity(0.1);
+        let hit = db
+            .execute(&format!(
+                "SELECT count(*) FROM fabric WHERE printdate >= '{DATE_EPOCH}' and printdate < '{upper}'"
+            ))
+            .unwrap()
+            .table()
+            .column(0)
+            .i64_at(0) as f64;
+        let frac = hit / 500.0;
+        assert!((frac - 0.1).abs() < 0.03, "got {frac}");
+    }
+
+    #[test]
+    fn keyframes_are_valid_and_distinct() {
+        let shape = [1usize, 8, 8];
+        let a = keyframe(&shape, 7, 1);
+        let b = keyframe(&shape, 7, 2);
+        let a2 = keyframe(&shape, 7, 1);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert!(a.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn video_joins_back_to_fabric() {
+        let db = Database::new();
+        build_dataset(&db, &DatasetConfig { video_rows: 500, ..Default::default() }).unwrap();
+        let out = db
+            .execute("SELECT count(*) FROM video V, fabric F WHERE V.transID = F.transID")
+            .unwrap();
+        assert_eq!(out.table().column(0).i64_at(0), 500, "every clip has its transaction");
+    }
+
+    #[test]
+    fn blob_column_roundtrips_through_sql() {
+        let db = Database::new();
+        let cfg = DatasetConfig { video_rows: 120, ..Default::default() };
+        build_dataset(&db, &cfg).unwrap();
+        let out = db.execute("SELECT keyframe FROM video WHERE videoID = 5").unwrap();
+        let Value::Blob(_) = out.table().column(0).value(0) else {
+            panic!("expected a blob");
+        };
+        let t = collab::blob_to_tensor(&out.table().column(0).value(0)).unwrap();
+        assert_eq!(t, keyframe(&cfg.keyframe_shape, cfg.seed, 5));
+    }
+}

@@ -1,0 +1,26 @@
+//! `workload` — the synthetic stand-in for the paper's Alibaba IoT
+//! textile-printing dataset, model repository and query benchmark.
+//!
+//! The real deployment holds 100 M tuples and >100 GB of video across five
+//! tables (video, fabric, client, order, device) in a 100:10:1:10:1 size
+//! ratio, plus a repository of 20 task networks. None of that data is
+//! public; this crate generates a deterministic, laptop-scale equivalent
+//! that preserves everything the experiments depend on:
+//!
+//! * the five-table schema and the 100:10:1:10:1 ratio ([`dataset`]),
+//! * keyframes that flow through real inference (small tensors stored as
+//!   blobs),
+//! * controllable relational-predicate selectivity (uniform value
+//!   distributions + helper predicates),
+//! * a 20-model task repository with offline class histograms
+//!   ([`models`]),
+//! * the four query templates of paper Table I with preset selectivities
+//!   ([`queries`]).
+
+pub mod dataset;
+pub mod models;
+pub mod queries;
+
+pub use dataset::{build_dataset, DatasetConfig, DatasetSummary};
+pub use models::{build_repo, conditional_detect_spec, resnet_spec, RepoConfig};
+pub use queries::{conditional_type3_template, generate_benchmark, BenchmarkConfig, QuerySpec};

@@ -1,0 +1,216 @@
+//! The task-model repository.
+//!
+//! Paper Sec. V: "We train a model repository consisting of 20 neural
+//! networks for various tasks, such as textile defect detection, clothes
+//! classification, textile type classification, and textile pattern
+//! recognition. We adopt the ResNet34 as the backbone ... and apply the
+//! distillation technique to learn a student CNN composed of three
+//! Conv+BN+ReLU layers."
+//!
+//! Training is out of scope (inference performance is weight-independent);
+//! each task gets a deterministic-weights student CNN, and the class
+//! histograms the hint rules need are estimated by running each model over
+//! a held-out sample set — the statistical equivalent of the paper's
+//! "histogram built during offline training".
+
+use std::sync::Arc;
+
+use collab::{ModelRepo, NudfOutput, NudfSpec};
+use neuro::{zoo, Model, Tensor};
+
+use crate::dataset::keyframe;
+
+/// Repository configuration.
+#[derive(Debug, Clone)]
+pub struct RepoConfig {
+    /// Keyframe shape the models consume (must match the dataset).
+    pub keyframe_shape: Vec<usize>,
+    /// Number of fabric patterns (classes of `nUDF_recog`).
+    pub patterns: usize,
+    /// Samples used to estimate each model's class histogram.
+    pub histogram_samples: usize,
+    /// RNG seed for model weights.
+    pub seed: u64,
+}
+
+impl Default for RepoConfig {
+    fn default() -> Self {
+        RepoConfig {
+            keyframe_shape: vec![1, 12, 12],
+            patterns: 8,
+            histogram_samples: 64,
+            seed: 7,
+        }
+    }
+}
+
+const CLOTH_LABELS: [&str; 5] = ["shirt", "dress", "trouser", "coat", "scarf"];
+const PATTERN_LABELS: [&str; 6] =
+    ["Floral Pattern", "Stripe", "Dots", "Plaid", "Paisley", "Solid"];
+const TYPE_LABELS: [&str; 4] = ["cotton", "silk", "linen", "wool"];
+
+/// Builds the 20-model repository (5 task families × 4 variants).
+///
+/// Registered nUDF names:
+/// * `nUDF_detect`, `nUDF_detect_v1..v3` — defect detection (Bool),
+/// * `nUDF_classify`, `nUDF_classify_v1..v3` — pattern classification
+///   (labels),
+/// * `nUDF_clothes`, `nUDF_clothes_v1..v3` — clothes classification,
+/// * `nUDF_type`, `nUDF_type_v1..v3` — textile type classification,
+/// * `nUDF_recog`, `nUDF_recog_v1..v3` — pattern-id recognition (Int64).
+pub fn build_repo(config: &RepoConfig) -> Arc<ModelRepo> {
+    let repo = ModelRepo::new();
+    let samples: Vec<Tensor> = (0..config.histogram_samples as u64)
+        .map(|i| keyframe(&config.keyframe_shape, config.seed ^ 0xABCD, i))
+        .collect();
+
+    let register = |name: String, classes: usize, output_for: &dyn Fn() -> NudfOutput, seed: u64| {
+        let model = Arc::new(zoo::student(config.keyframe_shape.clone(), classes, seed));
+        let class_probs =
+            dl2sql::hints::histogram_from_model(&model, &samples).expect("histogram over valid samples");
+        repo.register(NudfSpec::new(name, model, output_for(), class_probs));
+    };
+
+    for v in 0..4 {
+        let suffix = if v == 0 { String::new() } else { format!("_v{v}") };
+        register(
+            format!("nUDF_detect{suffix}"),
+            2,
+            &|| NudfOutput::Bool { true_class: 1 },
+            config.seed + 100 + v,
+        );
+        register(
+            format!("nUDF_classify{suffix}"),
+            PATTERN_LABELS.len(),
+            &|| NudfOutput::Label { labels: PATTERN_LABELS.iter().map(|s| s.to_string()).collect() },
+            config.seed + 200 + v,
+        );
+        register(
+            format!("nUDF_clothes{suffix}"),
+            CLOTH_LABELS.len(),
+            &|| NudfOutput::Label { labels: CLOTH_LABELS.iter().map(|s| s.to_string()).collect() },
+            config.seed + 300 + v,
+        );
+        register(
+            format!("nUDF_type{suffix}"),
+            TYPE_LABELS.len(),
+            &|| NudfOutput::Label { labels: TYPE_LABELS.iter().map(|s| s.to_string()).collect() },
+            config.seed + 400 + v,
+        );
+        let patterns = config.patterns;
+        register(
+            format!("nUDF_recog{suffix}"),
+            patterns,
+            &|| NudfOutput::ClassId,
+            config.seed + 500 + v,
+        );
+    }
+    // The Type-3 conditional detector (model selected by humidity).
+    repo.register(conditional_detect_spec(config));
+    Arc::new(repo)
+}
+
+/// A *conditional* defect-detection nUDF (the paper's Type-3 premise:
+/// "various models are trained for different humidity and temperature
+/// combinations"): the second SQL argument (humidity) selects among three
+/// variants banded at <70, 70–85 and ≥85.
+pub fn conditional_detect_spec(config: &RepoConfig) -> NudfSpec {
+    use collab::ConditionalVariant;
+    let samples: Vec<Tensor> = (0..config.histogram_samples as u64)
+        .map(|i| keyframe(&config.keyframe_shape, config.seed ^ 0xABCD, i))
+        .collect();
+    let base = Arc::new(zoo::student(config.keyframe_shape.clone(), 2, config.seed + 900));
+    let mid = Arc::new({
+        let mut m = zoo::student(config.keyframe_shape.clone(), 2, config.seed + 901);
+        m.name = "student_cond_mid".into();
+        m
+    });
+    let high = Arc::new({
+        let mut m = zoo::student(config.keyframe_shape.clone(), 2, config.seed + 902);
+        m.name = "student_cond_high".into();
+        m
+    });
+    let class_probs = dl2sql::hints::histogram_from_model(&base, &samples)
+        .expect("histogram over valid samples");
+    let mut spec = NudfSpec::new(
+        "nUDF_detect_cond",
+        Arc::clone(&base),
+        NudfOutput::Bool { true_class: 1 },
+        class_probs,
+    );
+    spec.variants = vec![
+        ConditionalVariant { min_condition: f64::NEG_INFINITY, model: base },
+        ConditionalVariant { min_condition: 70.0, model: mid },
+        ConditionalVariant { min_condition: 85.0, model: high },
+    ];
+    spec
+}
+
+/// A ResNet-family detect nUDF for the model-depth experiments (paper
+/// Tables IV and VI): `nUDF_detect_resnet{depth}`.
+pub fn resnet_spec(depth: usize, config: &RepoConfig) -> NudfSpec {
+    let model: Arc<Model> = Arc::new(zoo::resnet(
+        depth,
+        config.keyframe_shape.clone(),
+        2,
+        config.seed + depth as u64,
+    ));
+    let samples: Vec<Tensor> = (0..config.histogram_samples as u64)
+        .map(|i| keyframe(&config.keyframe_shape, config.seed ^ 0xABCD, i))
+        .collect();
+    let class_probs =
+        dl2sql::hints::histogram_from_model(&model, &samples).expect("histogram over valid samples");
+    NudfSpec::new(
+        format!("nUDF_detect_resnet{depth}"),
+        model,
+        NudfOutput::Bool { true_class: 1 },
+        class_probs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repo_holds_twenty_task_models_plus_the_conditional_detector() {
+        let repo = build_repo(&RepoConfig::default());
+        assert_eq!(repo.names().len(), 21);
+        assert!(repo.is_nudf("nUDF_detect"));
+        assert!(repo.is_nudf("nudf_recog_v3"));
+        let cond = repo.require("nUDF_detect_cond").unwrap();
+        assert!(cond.is_conditional());
+        assert_eq!(cond.variants.len(), 3);
+    }
+
+    #[test]
+    fn histograms_are_probability_distributions() {
+        let repo = build_repo(&RepoConfig { histogram_samples: 32, ..Default::default() });
+        for name in repo.names() {
+            let spec = repo.require(&name).unwrap();
+            let sum: f64 = spec.class_probs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{name} histogram sums to {sum}");
+            assert_eq!(spec.class_probs.len(), spec.model.num_classes);
+        }
+    }
+
+    #[test]
+    fn resnet_specs_scale_with_depth() {
+        let cfg = RepoConfig { keyframe_shape: vec![1, 8, 8], histogram_samples: 8, ..Default::default() };
+        let shallow = resnet_spec(5, &cfg);
+        let deep = resnet_spec(20, &cfg);
+        assert!(deep.model.param_count() > shallow.model.param_count());
+        assert_eq!(shallow.name, "nUDF_detect_resnet5");
+    }
+
+    #[test]
+    fn repo_is_deterministic() {
+        let cfg = RepoConfig { histogram_samples: 16, ..Default::default() };
+        let a = build_repo(&cfg);
+        let b = build_repo(&cfg);
+        let sa = a.require("nUDF_detect").unwrap();
+        let sb = b.require("nUDF_detect").unwrap();
+        assert_eq!(*sa.model, *sb.model);
+        assert_eq!(sa.class_probs, sb.class_probs);
+    }
+}

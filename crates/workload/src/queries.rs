@@ -1,0 +1,194 @@
+//! Query-benchmark generation.
+//!
+//! Paper Sec. V: "We create a query template for each type displayed in
+//! Table I that picks a random DL task corresponding to a model in the
+//! model repository. ... We generate 100 queries for each type with a
+//! preset selectivity on the SQL predicates and mix them as our query
+//! benchmark."
+
+use collab::QueryType;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dataset::{date_upper_bound_for_selectivity, humidity_threshold_for_selectivity, DATE_EPOCH};
+
+/// One generated benchmark query.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The SQL text.
+    pub sql: String,
+    /// Which Table-I type the template instantiates.
+    pub qtype: QueryType,
+    /// The nUDF names the query calls.
+    pub nudfs: Vec<String>,
+    /// The preset accumulated selectivity of the relational predicates.
+    pub selectivity: f64,
+}
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct BenchmarkConfig {
+    /// Queries generated per type.
+    pub queries_per_type: usize,
+    /// Accumulated selectivity of the relational predicates (paper
+    /// default: 0.01%, i.e. `0.0001`).
+    pub selectivity: f64,
+    /// RNG seed for task selection.
+    pub seed: u64,
+    /// Task variants to draw from (suffixes of the repo's nUDF names).
+    pub variants: usize,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        BenchmarkConfig { queries_per_type: 100, selectivity: 0.0001, seed: 99, variants: 4 }
+    }
+}
+
+fn variant(rng: &mut StdRng, variants: usize) -> String {
+    let v = rng.random_range(0..variants.max(1));
+    if v == 0 {
+        String::new()
+    } else {
+        format!("_v{v}")
+    }
+}
+
+/// Instantiates the Table-I template for one query type.
+pub fn template(qtype: QueryType, selectivity: f64, suffix: &str) -> QuerySpec {
+    let date_hi = date_upper_bound_for_selectivity(selectivity);
+    let humidity = humidity_threshold_for_selectivity(selectivity);
+    let (sql, nudfs) = match qtype {
+        // Type 1: the total printed meters of one pattern; date windows
+        // carry the preset selectivity; no join between F and V.
+        QueryType::Type1 => (
+            format!(
+                "SELECT sum(meter) AS total FROM fabric F, video V \
+                 WHERE F.printdate >= '{DATE_EPOCH}' and F.printdate < '{date_hi}' \
+                 and V.date >= '{DATE_EPOCH}' and V.date < '{date_hi}' \
+                 and nUDF_classify{suffix}(V.keyframe) = 'Floral Pattern'"
+            ),
+            vec![format!("nUDF_classify{suffix}")],
+        ),
+        // Type 2: defect rate per pattern — the aggregate consumes nUDF
+        // output.
+        QueryType::Type2 => (
+            format!(
+                "SELECT patternID, count(nUDF_detect{suffix}(V.keyframe) = TRUE) / sum(meter) AS rate \
+                 FROM fabric F, video V \
+                 WHERE F.printdate >= '{DATE_EPOCH}' and F.printdate < '{date_hi}' \
+                 and F.transID = V.transID \
+                 GROUP BY patternID ORDER BY patternID"
+            ),
+            vec![format!("nUDF_detect{suffix}")],
+        ),
+        // Type 3: relational predicates gate which keyframes are inferred.
+        QueryType::Type3 => (
+            format!(
+                "SELECT F.patternID, F.transID FROM fabric F, video V \
+                 WHERE F.humidity > {humidity} and F.temperature > 30 \
+                 and F.transID = V.transID \
+                 and nUDF_detect{suffix}(V.keyframe) = FALSE \
+                 ORDER BY F.transID"
+            ),
+            vec![format!("nUDF_detect{suffix}")],
+        ),
+        // Type 4: consistency check between the logged pattern and the
+        // recognized one.
+        QueryType::Type4 => (
+            format!(
+                "SELECT F.patternID, F.transID FROM fabric F, video V \
+                 WHERE F.printdate >= '{DATE_EPOCH}' and F.printdate < '{date_hi}' \
+                 and F.transID = V.transID \
+                 and F.patternID != nUDF_recog{suffix}(V.keyframe) \
+                 ORDER BY F.transID"
+            ),
+            vec![format!("nUDF_recog{suffix}")],
+        ),
+    };
+    QuerySpec { sql, qtype, nudfs, selectivity }
+}
+
+/// The conditional Type-3 template: the humidity value both gates rows
+/// *and* selects the model variant
+/// (`nUDF_detect_cond(V.keyframe, F.humidity)`).
+pub fn conditional_type3_template(selectivity: f64) -> QuerySpec {
+    let humidity = humidity_threshold_for_selectivity(selectivity);
+    QuerySpec {
+        sql: format!(
+            "SELECT F.patternID, F.transID FROM fabric F, video V \
+             WHERE F.humidity > {humidity} and F.transID = V.transID \
+             and nUDF_detect_cond(V.keyframe, F.humidity) = FALSE \
+             ORDER BY F.transID"
+        ),
+        qtype: QueryType::Type3,
+        nudfs: vec!["nUDF_detect_cond".into()],
+        selectivity,
+    }
+}
+
+/// Generates the mixed benchmark: `queries_per_type` instances of each
+/// type, tasks drawn deterministically from the configured variants.
+pub fn generate_benchmark(config: &BenchmarkConfig) -> Vec<QuerySpec> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.queries_per_type * 4);
+    for qtype in [QueryType::Type1, QueryType::Type2, QueryType::Type3, QueryType::Type4] {
+        for _ in 0..config.queries_per_type {
+            let suffix = variant(&mut rng, config.variants);
+            out.push(template(qtype, config.selectivity, &suffix));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_has_all_types() {
+        let qs = generate_benchmark(&BenchmarkConfig { queries_per_type: 3, ..Default::default() });
+        assert_eq!(qs.len(), 12);
+        for t in [QueryType::Type1, QueryType::Type2, QueryType::Type3, QueryType::Type4] {
+            assert_eq!(qs.iter().filter(|q| q.qtype == t).count(), 3);
+        }
+    }
+
+    #[test]
+    fn templates_parse_and_classify_correctly() {
+        use minidb::sql::parser::parse_statement;
+        let repo = crate::models::build_repo(&crate::models::RepoConfig::default());
+        for qtype in [QueryType::Type1, QueryType::Type2, QueryType::Type3, QueryType::Type4] {
+            let spec = template(qtype, 0.01, "");
+            let stmt = parse_statement(&spec.sql).expect("template parses");
+            let minidb::sql::ast::Statement::Query(q) = stmt else { panic!() };
+            assert_eq!(collab::classify_query(&q, &repo), qtype, "{}", spec.sql);
+        }
+    }
+
+    #[test]
+    fn conditional_template_classifies_as_type3() {
+        let repo = crate::models::build_repo(&crate::models::RepoConfig::default());
+        let spec = conditional_type3_template(0.2);
+        assert_eq!(collab::classify_sql(&spec.sql, &repo).unwrap(), QueryType::Type3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = BenchmarkConfig { queries_per_type: 5, ..Default::default() };
+        let a = generate_benchmark(&cfg);
+        let b = generate_benchmark(&cfg);
+        assert_eq!(
+            a.iter().map(|q| &q.sql).collect::<Vec<_>>(),
+            b.iter().map(|q| &q.sql).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn selectivity_parameter_changes_the_predicates() {
+        let tight = template(QueryType::Type3, 0.0001, "");
+        let loose = template(QueryType::Type3, 0.5, "");
+        assert_ne!(tight.sql, loose.sql);
+        assert!(tight.sql.contains("humidity > 99.99"));
+    }
+}

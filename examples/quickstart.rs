@@ -1,0 +1,54 @@
+//! Quickstart: compile a CNN to SQL and run inference inside the database.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use dl2sql::{compile_model, NeuralRegistry, Runner};
+use minidb::Database;
+use neuro::{zoo, Tensor};
+
+fn main() {
+    // 1. A database and a model. The "student" CNN is the paper's
+    //    distilled 3x(Conv+BN+ReLU) network.
+    let db = Arc::new(Database::new());
+    let registry = NeuralRegistry::shared();
+    let model = zoo::student(vec![1, 12, 12], 4, 7);
+    println!("model: {} ({} parameters)", model.name, model.param_count());
+
+    // 2. Compile: weights become relational tables, inference becomes SQL.
+    let compiled = Arc::new(compile_model(&db, &registry, &model).expect("compiles"));
+    println!(
+        "compiled into {} SQL steps over {} persistent tables",
+        compiled.steps.len(),
+        compiled.persistent_tables.len()
+    );
+    println!("\nthe convolution of layer 1, as SQL (paper query Q1):");
+    let conv1 = compiled.steps.iter().find(|s| s.label == "Conv1").expect("has a conv");
+    println!("  {}\n", conv1.statements[0]);
+
+    // 3. Run one keyframe through the SQL program.
+    let input = Tensor::new(
+        vec![1, 12, 12],
+        (0..144).map(|i| ((i % 13) as f32 / 6.5) - 1.0).collect(),
+    )
+    .expect("valid tensor");
+    let runner = Runner::new(Arc::clone(&db), Arc::clone(&registry), Arc::clone(&compiled))
+        .expect("runner builds");
+    let outcome = runner.infer(&input).expect("inference runs");
+    println!("SQL inference predicted class {}", outcome.predicted_class);
+    println!("class probabilities: {:?}", outcome.probabilities);
+
+    // 4. Cross-check against the direct tensor engine.
+    let reference = model.forward(&input).expect("reference runs");
+    println!("tensor engine predicted class {}", reference.argmax());
+    assert_eq!(outcome.predicted_class, reference.argmax(), "the two engines agree");
+
+    // 5. Where did the time go? (paper Fig. 9's per-block view)
+    println!("\nper-step timings:");
+    for t in &outcome.step_timings {
+        println!("  {:<16} {:>8.3} ms", t.label, t.duration.as_secs_f64() * 1e3);
+    }
+}

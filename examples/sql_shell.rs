@@ -1,0 +1,111 @@
+//! An interactive SQL shell over the synthetic IoT database, with every
+//! nUDF of the model repository registered — type the paper's
+//! collaborative queries directly.
+//!
+//! ```sh
+//! cargo run --release --example sql_shell
+//! sql> SELECT count(*) FROM fabric WHERE humidity > 80;
+//! sql> SELECT F.transID FROM fabric F, video V
+//!      WHERE F.transID = V.transID and nUDF_detect(V.keyframe) = TRUE LIMIT 5;
+//! sql> EXPLAIN SELECT f.transID FROM fabric f, video v WHERE f.transID = v.transID;
+//! sql> \tables     -- list tables
+//! sql> \q          -- quit
+//! ```
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use minidb::{Database, DataType, ScalarUdf};
+use workload::{build_dataset, build_repo, DatasetConfig, RepoConfig};
+
+fn main() {
+    let db = Arc::new(Database::new());
+    let config = DatasetConfig { video_rows: 1000, ..Default::default() };
+    let summary = build_dataset(&db, &config).expect("dataset builds");
+    let repo = build_repo(&RepoConfig {
+        keyframe_shape: config.keyframe_shape.clone(),
+        patterns: config.patterns,
+        ..Default::default()
+    });
+
+    // Register every nUDF (loose-integration style: native inference).
+    for name in repo.names() {
+        let spec = repo.require(&name).expect("registered");
+        let output = spec.output.clone();
+        let model = Arc::clone(&spec.model);
+        db.register_udf(
+            ScalarUdf::new(&spec.name, vec![DataType::Blob], spec.output.data_type(), move |args| {
+                let tensor = collab::blob_to_tensor(&args[0])
+                    .map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                let out = model.forward(&tensor).map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                Ok(output.to_value(out.argmax()))
+            })
+            .with_cost(spec.model.param_count() as f64)
+            .with_class_probabilities(spec.output.value_histogram(&spec.class_probs)),
+        );
+    }
+
+    println!(
+        "dl2sql-repro SQL shell — {} tuples across {} tables, {} nUDFs registered",
+        summary.total_rows(),
+        db.catalog().table_names().len(),
+        repo.names().len()
+    );
+    println!("type SQL (single line), \\tables, \\udfs, or \\q\n");
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("sql> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "\\q" | "exit" | "quit" => break,
+            "\\tables" => {
+                let mut names = db.catalog().table_names();
+                names.sort();
+                for n in names {
+                    let rows = db.catalog().table(&n).map_or(0, |t| t.num_rows());
+                    println!("  {n} ({rows} rows)");
+                }
+                continue;
+            }
+            "\\udfs" => {
+                let mut names = db.udfs().names();
+                names.sort();
+                for n in names {
+                    println!("  {n}");
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let started = std::time::Instant::now();
+        match db.execute(line.trim_end_matches(';')) {
+            Ok(result) => {
+                let t = result.table();
+                if t.num_columns() > 0 {
+                    print!("{}", t.to_display_string());
+                }
+                println!(
+                    "({} rows, {:.1} ms)",
+                    result.rows_affected(),
+                    started.elapsed().as_secs_f64() * 1e3
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

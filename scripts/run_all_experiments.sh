@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation.
+# Outputs land in results/<name>.txt.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+for bin in table4_storage table5_selectivity table6_depth fig8_overall \
+           fig9_blocks fig10_clauses fig11_prejoin fig12_costmodel \
+           fig13_operators fig14_hints; do
+  echo "== running $bin =="
+  cargo run -p bench --release --bin "$bin" > "results/$bin.txt" 2>&1 \
+    && echo "   ok -> results/$bin.txt" \
+    || echo "   FAILED (see results/$bin.txt)"
+done

@@ -1,0 +1,17 @@
+//! Umbrella crate for the DL2SQL reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests have a
+//! single import root. See the individual crates for substance:
+//!
+//! * [`minidb`] — in-memory columnar SQL engine (the ClickHouse stand-in),
+//! * [`neuro`] — tensor/CNN inference engine (the PyTorch stand-in),
+//! * [`dl2sql`] — the paper's contribution: neural operators as SQL,
+//! * [`collab`] — the three collaborative-query strategies,
+//! * [`workload`] — synthetic Alibaba-IoT dataset, model repository, query
+//!   benchmark.
+
+pub use collab;
+pub use dl2sql;
+pub use minidb;
+pub use neuro;
+pub use workload;

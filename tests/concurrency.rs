@@ -1,0 +1,115 @@
+//! Concurrency smoke tests: the catalog, UDF registry and executor are
+//! shared behind `Arc` by the strategies; concurrent readers and writers
+//! must not deadlock, panic, or observe torn tables.
+
+use std::sync::Arc;
+
+use minidb::{Database, DataType, ScalarUdf, Value};
+
+#[test]
+fn concurrent_readers_and_writers() {
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE t (k Int64, v Int64)").unwrap();
+    let rows: Vec<String> = (0..500).map(|i| format!("({}, {})", i % 50, i)).collect();
+    db.execute(&format!("INSERT INTO t VALUES {}", rows.join(","))).unwrap();
+
+    let mut handles = Vec::new();
+    // Readers: aggregate repeatedly; every snapshot must be internally
+    // consistent (sum and count move together).
+    for _ in 0..4 {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..200 {
+                let out = db.execute("SELECT count(*), SUM(v) FROM t").unwrap();
+                let n = out.table().column(0).i64_at(0);
+                assert!(n >= 500, "rows never shrink: {n}");
+            }
+        }));
+    }
+    // A writer: appends batches.
+    {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for batch in 0..20 {
+                let rows: Vec<String> =
+                    (0..25).map(|i| format!("({}, {})", i % 50, batch * 1000 + i)).collect();
+                db.execute(&format!("INSERT INTO t VALUES {}", rows.join(","))).unwrap();
+            }
+        }));
+    }
+    // A DDL thread: creates and drops unrelated temp tables.
+    {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..50 {
+                db.execute(&format!("CREATE TEMP TABLE scratch_{i} AS SELECT k FROM t LIMIT 10"))
+                    .unwrap();
+                db.execute(&format!("DROP TABLE scratch_{i}")).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+    let final_count = db.execute("SELECT count(*) FROM t").unwrap();
+    assert_eq!(final_count.table().column(0).i64_at(0), 500 + 20 * 25);
+}
+
+#[test]
+fn concurrent_udf_queries() {
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE t (v Int64)").unwrap();
+    let rows: Vec<String> = (0..200).map(|i| format!("({i})")).collect();
+    db.execute(&format!("INSERT INTO t VALUES {}", rows.join(","))).unwrap();
+    db.register_udf(ScalarUdf::new("slow_mod", vec![DataType::Int64], DataType::Int64, |args| {
+        // A little work to widen the race window.
+        let mut x = args[0].as_i64()?;
+        for _ in 0..100 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        Ok(Value::Int64(x % 7))
+    }));
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..50 {
+                let out = db
+                    .execute("SELECT count(*) FROM t WHERE slow_mod(v) = 3")
+                    .unwrap();
+                let n = out.table().column(0).i64_at(0);
+                assert!(n <= 200);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+}
+
+#[test]
+fn concurrent_dl2sql_inference_on_separate_databases() {
+    // Compiled models are per-database; independent instances must be able
+    // to infer in parallel (the engine holds no global state).
+    let mut handles = Vec::new();
+    for seed in 0..4u64 {
+        handles.push(std::thread::spawn(move || {
+            let db = Arc::new(Database::new());
+            let registry = dl2sql::NeuralRegistry::shared();
+            let model = neuro::zoo::student(vec![1, 8, 8], 3, seed);
+            let compiled =
+                Arc::new(dl2sql::compile_model(&db, &registry, &model).expect("compiles"));
+            let runner =
+                dl2sql::Runner::new(Arc::clone(&db), registry, compiled).expect("runner");
+            let input = neuro::Tensor::full(vec![1, 8, 8], 0.25);
+            let expected = model.predict(&input).expect("reference");
+            for _ in 0..5 {
+                let got = runner.infer(&input).expect("sql inference").predicted_class;
+                assert_eq!(got, expected);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based parity: randomly-shaped CNNs compiled to SQL must agree
+//! with the reference tensor engine on every input.
+
+use std::sync::Arc;
+
+use dl2sql::{compile_model, NeuralRegistry, Runner};
+use minidb::Database;
+use neuro::graph::Layer;
+use neuro::{Model, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random small CNN: 1–3 conv blocks with optional BN/ReLU/pool, then a
+/// classification head.
+fn arbitrary_model() -> impl Strategy<Value = (Model, u64)> {
+    (
+        2usize..4,         // input channels? keep small: 1..3
+        8usize..13,        // input H = W
+        1usize..4,         // conv blocks
+        proptest::bool::ANY, // batch norm
+        proptest::bool::ANY, // relu
+        proptest::bool::ANY, // max pool at the end
+        2usize..5,         // classes
+        0u64..1000,        // weight seed
+        0u64..1000,        // input seed
+    )
+        .prop_map(|(in_c, hw, blocks, bn, relu, pool, classes, wseed, iseed)| {
+            let in_c = in_c - 1; // 1..3
+            let mut rng = StdRng::seed_from_u64(wseed);
+            let mut layers = Vec::new();
+            let mut c = in_c;
+            let mut dim = hw;
+            for b in 0..blocks {
+                let k = if dim >= 5 { 3 } else { 1 };
+                let out_c = 2 + (b + wseed as usize) % 3;
+                layers.push(neuro::zoo::conv_layer(&mut rng, c, out_c, k, 1, 0));
+                dim = dim - k + 1;
+                c = out_c;
+                if bn {
+                    layers.push(Layer::BatchNorm { eps: 5e-5 });
+                }
+                if relu {
+                    layers.push(Layer::Relu);
+                }
+            }
+            if pool && dim >= 2 {
+                layers.push(Layer::MaxPool2d { kernel: 2, stride: 2 });
+            }
+            layers.push(Layer::GlobalAvgPool);
+            layers.push(neuro::zoo::linear_layer(&mut rng, c, classes));
+            layers.push(Layer::Softmax);
+            (
+                Model::new(format!("prop_{wseed}_{iseed}"), vec![in_c, hw, hw], classes, layers),
+                iseed,
+            )
+        })
+}
+
+fn deterministic_input(shape: &[usize], seed: u64) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let data = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 2001) as f32 / 1000.0 - 1.0
+        })
+        .collect();
+    Tensor::new(shape.to_vec(), data).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_cnn_sql_matches_reference((model, iseed) in arbitrary_model()) {
+        let db = Arc::new(Database::new());
+        let registry = NeuralRegistry::shared();
+        let input = deterministic_input(&model.input_shape, iseed);
+
+        let reference = model.forward(&input).expect("reference runs");
+        let compiled = Arc::new(compile_model(&db, &registry, &model).expect("compiles"));
+        let runner = Runner::new(Arc::clone(&db), registry, compiled).expect("runner");
+        let out = runner.infer(&input).expect("SQL inference runs");
+
+        // Argmax must agree whenever the reference has a clear winner;
+        // exact ties (e.g. a fully symmetric softmax) may break either way
+        // under f32-vs-f64 rounding.
+        let mut sorted: Vec<f32> = reference.data().to_vec();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        let clear_winner = sorted.len() < 2 || sorted[0] - sorted[1] > 1e-5;
+        if clear_winner {
+            prop_assert_eq!(out.predicted_class, reference.argmax());
+        }
+        for (cls, p) in out.probabilities.iter().enumerate() {
+            let expected = reference.data()[cls] as f64;
+            prop_assert!(
+                (p - expected).abs() < 1e-3,
+                "class {} prob: sql {} vs reference {}", cls, p, expected
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Algorithm 1 (direct staging) and Algorithm 2 (mapping re-layout)
+    /// must stage identical feature maps for any geometry.
+    #[test]
+    fn staging_and_mapping_agree(
+        h in 3usize..10,
+        w in 3usize..10,
+        c in 1usize..3,
+        k in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        use dl2sql::storage::{feature_map_rows, mapping_rows, ConvGeom};
+        prop_assume!(h + 2 * padding >= k && w + 2 * padding >= k);
+
+        let geom = ConvGeom::of(c, h, w, 4, k, stride, padding).expect("valid geometry");
+        let input = deterministic_input(&[c, h, w], seed);
+
+        // Algorithm 1: stage the tensor directly.
+        let direct = feature_map_rows(&input, &geom).expect("stages");
+
+        // Algorithm 2: re-lay the state through the mapping.
+        let map = mapping_rows(&geom);
+        let mut relayed: Vec<(i64, i64, f64)> = map
+            .matrix_id
+            .iter()
+            .zip(&map.order_id)
+            .zip(map.kernel_id.iter().zip(&map.tuple_id))
+            .map(|((m, o), (ch, t))| {
+                let y = (*t as usize) / w;
+                let x = (*t as usize) % w;
+                (*m, *o, input.at(*ch as usize, y, x) as f64)
+            })
+            .collect();
+        let mut direct_rows: Vec<(i64, i64, f64)> = direct
+            .matrix_id
+            .iter()
+            .zip(&direct.order_id)
+            .zip(&direct.value)
+            .map(|((m, o), v)| (*m, *o, *v))
+            .collect();
+        relayed.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        direct_rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(relayed, direct_rows);
+    }
+}

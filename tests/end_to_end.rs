@@ -1,0 +1,156 @@
+//! End-to-end workflow over the synthetic Alibaba-IoT workload: dataset +
+//! model repository + the full query benchmark, all four strategies.
+
+use std::sync::Arc;
+
+use collab::{classify_sql, CollabEngine, QueryType, StrategyKind};
+use minidb::{Database, Value};
+use workload::{
+    build_dataset, build_repo, generate_benchmark, BenchmarkConfig, DatasetConfig, RepoConfig,
+};
+
+fn engine(video_rows: usize) -> CollabEngine {
+    let db = Arc::new(Database::new());
+    // 8x8 keyframes keep the un-optimized tight strategy (which infers
+    // every video row through SQL) fast enough for debug-mode CI.
+    let config = DatasetConfig { video_rows, keyframe_shape: vec![1, 8, 8], ..Default::default() };
+    build_dataset(&db, &config).expect("dataset builds");
+    let repo = build_repo(&RepoConfig {
+        keyframe_shape: config.keyframe_shape.clone(),
+        patterns: config.patterns,
+        histogram_samples: 16,
+        ..Default::default()
+    });
+    CollabEngine::new(db, repo)
+}
+
+fn canonical(table: &minidb::Table) -> Vec<String> {
+    let mut rows: Vec<String> = (0..table.num_rows())
+        .map(|r| {
+            (0..table.num_columns())
+                .map(|c| match table.column(c).value(r) {
+                    Value::Float64(f) => format!("{f:.6}"),
+                    v => v.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn benchmark_queries_classify_as_their_templates() {
+    let engine = engine(120);
+    let queries = generate_benchmark(&BenchmarkConfig {
+        queries_per_type: 2,
+        selectivity: 0.05,
+        ..Default::default()
+    });
+    assert_eq!(queries.len(), 8);
+    for q in &queries {
+        assert_eq!(
+            classify_sql(&q.sql, engine.repo()).expect("classifies"),
+            q.qtype,
+            "{}",
+            q.sql
+        );
+    }
+}
+
+#[test]
+fn full_benchmark_agrees_across_all_strategies() {
+    let engine = engine(120);
+    let queries = generate_benchmark(&BenchmarkConfig {
+        queries_per_type: 1,
+        selectivity: 0.1,
+        ..Default::default()
+    });
+    for q in &queries {
+        let mut reference: Option<Vec<String>> = None;
+        for kind in StrategyKind::all() {
+            let out = engine
+                .execute(&q.sql, kind)
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.label(), q.sql));
+            let rows = canonical(&out.table);
+            match &reference {
+                None => reference = Some(rows),
+                Some(expected) => {
+                    assert_eq!(&rows, expected, "{} diverges on {}", kind.label(), q.sql)
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn type2_defect_rates_are_plausible() {
+    let engine = engine(150);
+    let sql = "SELECT patternID, count(nUDF_detect(V.keyframe) = TRUE) / sum(meter) AS rate \
+               FROM fabric F, video V WHERE F.transID = V.transID \
+               GROUP BY patternID ORDER BY patternID";
+    assert_eq!(classify_sql(sql, engine.repo()).unwrap(), QueryType::Type2);
+    let out = engine.execute(sql, StrategyKind::TightOptimized).expect("runs");
+    assert!(out.table.num_rows() > 0);
+    for r in 0..out.table.num_rows() {
+        let rate = out.table.column(1).f64_at(r);
+        assert!(rate >= 0.0, "defect rate cannot be negative");
+    }
+}
+
+#[test]
+fn breakdown_categories_are_all_exercised() {
+    let engine = engine(120);
+    let sql = "SELECT F.transID FROM fabric F, video V \
+               WHERE F.humidity > 75 and F.transID = V.transID \
+               and nUDF_detect(V.keyframe) = FALSE ORDER BY F.transID";
+    for kind in StrategyKind::all() {
+        let out = engine.execute(sql, kind).expect("runs");
+        assert!(
+            out.breakdown.relational > std::time::Duration::ZERO,
+            "{} must do relational work",
+            kind.label()
+        );
+        assert!(
+            out.breakdown.inference > std::time::Duration::ZERO,
+            "{} must run inference",
+            kind.label()
+        );
+        assert!(out.sim.inference_flops > 0, "{} must charge flops", kind.label());
+    }
+    // Only the independent strategy crosses the system boundary.
+    let indep = engine.execute(sql, StrategyKind::Independent).expect("runs");
+    assert!(indep.sim.cross_system_bytes > 0);
+    let tight = engine.execute(sql, StrategyKind::TightOptimized).expect("runs");
+    assert_eq!(tight.sim.cross_system_bytes, 0);
+}
+
+#[test]
+fn multiple_nudfs_in_one_query() {
+    let engine = engine(120);
+    // The paper's Type-4 intro example uses detect + classify together.
+    let sql = "SELECT F.patternID, F.transID FROM fabric F, video V \
+               WHERE F.transID = V.transID and nUDF_detect(V.keyframe) = TRUE \
+               and nUDF_classify(V.keyframe) = 'Floral Pattern' ORDER BY F.transID";
+    let mut reference: Option<Vec<String>> = None;
+    for kind in StrategyKind::all() {
+        let out = engine.execute(sql, kind).expect("runs");
+        let rows = canonical(&out.table);
+        match &reference {
+            None => reference = Some(rows),
+            Some(expected) => assert_eq!(&rows, expected, "{} diverges", kind.label()),
+        }
+    }
+}
+
+#[test]
+fn repeated_execution_is_deterministic() {
+    let engine = engine(120);
+    let sql = "SELECT F.patternID, F.transID FROM fabric F, video V \
+               WHERE F.humidity > 70 and F.transID = V.transID \
+               and nUDF_recog(V.keyframe) != F.patternID ORDER BY F.transID";
+    let a = engine.execute(sql, StrategyKind::TightOptimized).expect("runs");
+    let b = engine.execute(sql, StrategyKind::TightOptimized).expect("runs");
+    assert_eq!(canonical(&a.table), canonical(&b.table));
+}
