@@ -31,22 +31,42 @@ fn join_db(rows: i64) -> Database {
 
 fn bench_hash_join(c: &mut Criterion) {
     let db = join_db(8_000);
+    // Parse + plan once; the hot loop only executes.
+    let prepared = db.prepare("SELECT count(*) FROM a, b WHERE a.k = b.k").unwrap();
     c.bench_function("hash_join_8k_x_2k", |b| {
-        b.iter(|| {
-            db.execute("SELECT count(*) FROM a, b WHERE a.k = b.k")
-                .unwrap()
-                .table()
-                .column(0)
-                .i64_at(0)
-        })
+        b.iter(|| prepared.run().unwrap().table().column(0).i64_at(0))
     });
 }
 
 fn bench_group_by(c: &mut Criterion) {
     let db = join_db(8_000);
+    let prepared = db.prepare("SELECT k, SUM(v), AVG(v) FROM a GROUP BY k").unwrap();
     c.bench_function("group_by_8k_rows_997_groups", |b| {
-        b.iter(|| db.execute("SELECT k, SUM(v), AVG(v) FROM a GROUP BY k").unwrap().rows_affected())
+        b.iter(|| prepared.run().unwrap().rows_affected())
     });
+}
+
+/// The tentpole's speedup case: the same join + group-by executed at
+/// `parallelism` 1 vs 4 (morsel-driven probe and partial aggregates).
+fn bench_parallelism(c: &mut Criterion) {
+    for workers in [1usize, 4] {
+        let db = minidb::Database::builder().parallelism(workers).build();
+        db.execute("CREATE TABLE a (k Int64, v Float64)").unwrap();
+        db.execute("CREATE TABLE b (k Int64, w Float64)").unwrap();
+        let rows = 64_000i64;
+        let av: Vec<String> = (0..rows).map(|i| format!("({}, {}.5)", i % 997, i)).collect();
+        let bv: Vec<String> = (0..rows / 4).map(|i| format!("({}, {}.25)", i % 997, i)).collect();
+        db.execute(&format!("INSERT INTO a VALUES {}", av.join(","))).unwrap();
+        db.execute(&format!("INSERT INTO b VALUES {}", bv.join(","))).unwrap();
+        let join = db.prepare("SELECT count(*) FROM a, b WHERE a.k = b.k").unwrap();
+        let agg = db.prepare("SELECT k, SUM(v), AVG(v) FROM a GROUP BY k").unwrap();
+        c.bench_function(&format!("join_64k_parallelism_{workers}"), |b| {
+            b.iter(|| join.run().unwrap().table().column(0).i64_at(0))
+        });
+        c.bench_function(&format!("group_by_64k_parallelism_{workers}"), |b| {
+            b.iter(|| agg.run().unwrap().rows_affected())
+        });
+    }
 }
 
 fn bench_native_inference(c: &mut Criterion) {
@@ -83,7 +103,7 @@ fn bench_model_compilation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_parser, bench_hash_join, bench_group_by, bench_native_inference,
-              bench_sql_inference, bench_model_compilation
+    targets = bench_parser, bench_hash_join, bench_group_by, bench_parallelism,
+              bench_native_inference, bench_sql_inference, bench_model_compilation
 }
 criterion_main!(benches);

@@ -43,14 +43,8 @@ fn main() {
         &["Variant", "host ms", "server CPU", "server GPU", "round trips"],
     );
     for (label, strategy) in [
-        (
-            "row-at-a-time",
-            LooseUdf::new(Arc::clone(&db), Arc::clone(&repo), Arc::clone(&meter)),
-        ),
-        (
-            "batched",
-            LooseUdf::new_batched(Arc::clone(&db), Arc::clone(&repo), Arc::clone(&meter)),
-        ),
+        ("row-at-a-time", LooseUdf::new(Arc::clone(&db), Arc::clone(&repo), Arc::clone(&meter))),
+        ("batched", LooseUdf::new_batched(Arc::clone(&db), Arc::clone(&repo), Arc::clone(&meter))),
     ] {
         let out = strategy.execute(&spec.sql).expect("strategy runs");
         let cpu = project_to_device_with(

@@ -46,8 +46,13 @@ fn main() {
     );
     let mut expected_rows = None;
     for budget in [usize::MAX, 1024, 512, 256, 64, 8] {
-        let config = ExecConfig { symmetric_batch_rows: 1024, symmetric_bucket_budget: budget };
-        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let config = ExecConfig {
+            symmetric_batch_rows: 1024,
+            symmetric_bucket_budget: budget,
+            ..Default::default()
+        };
+        let ctx =
+            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
         let t0 = std::time::Instant::now();
         let (out, metrics) =
             symmetric_hash_join_with_metrics(&lt, &rt, &keys, None, None, &schema, &ctx)

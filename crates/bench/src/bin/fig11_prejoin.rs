@@ -21,11 +21,14 @@ use workload::dataset::keyframe;
 use bench::Report;
 
 fn main() {
-    let db = Arc::new(Database::new());
     let registry = NeuralRegistry::shared();
     // DL2SQL runs under its customized cost model — the fused variants'
     // three-way joins need it to get the join order right.
-    db.set_cost_model(Arc::new(dl2sql::Dl2SqlCostModel::new(Arc::clone(&registry))));
+    let db = Arc::new(
+        Database::builder()
+            .cost_model(Arc::new(dl2sql::Dl2SqlCostModel::new(Arc::clone(&registry))))
+            .build(),
+    );
     let model = neuro::zoo::student(vec![1, 12, 12], 6, 7);
     let input = keyframe(&[1, 12, 12], 3, 1);
 
@@ -36,10 +39,8 @@ fn main() {
         &["Strategy", "Total(ms)", "Blocks"],
     );
     for ((strategy, total), (_, blocks)) in cmp.totals.iter().zip(&cmp.per_block) {
-        let block_summary: Vec<String> = blocks
-            .iter()
-            .map(|(l, d)| format!("{l}={:.2}", d.as_secs_f64() * 1e3))
-            .collect();
+        let block_summary: Vec<String> =
+            blocks.iter().map(|(l, d)| format!("{l}={:.2}", d.as_secs_f64() * 1e3)).collect();
         report.row(&[
             format!("{strategy:?}"),
             format!("{:.3}", total.as_secs_f64() * 1e3),

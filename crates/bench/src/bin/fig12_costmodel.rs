@@ -74,12 +74,7 @@ fn measure(db: &Arc<Database>, registry: &Arc<NeuralRegistry>, model: &Model) ->
         .expect("custom estimate")
         .cost;
 
-    Point {
-        label: model.name.clone(),
-        actual_ms: actual * 1e3,
-        default_cost,
-        custom_cost,
-    }
+    Point { label: model.name.clone(), actual_ms: actual * 1e3, default_cost, custom_cost }
 }
 
 fn main() {
@@ -127,7 +122,7 @@ fn main() {
             ]);
             report.json(serde_json::json!({
                 "experiment": "fig12",
-                "config": p.label,
+                "config": p.label.clone(),
                 "actual_ms": p.actual_ms,
                 "default_ms": default_ms,
                 "custom_ms": custom_ms,

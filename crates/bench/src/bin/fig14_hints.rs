@@ -26,10 +26,8 @@ fn main() {
     for sel in SELECTIVITIES {
         let spec = template(QueryType::Type3, sel, "");
         let plain = env.engine.execute(&spec.sql, StrategyKind::Tight).expect("DL2SQL runs");
-        let op = env
-            .engine
-            .execute(&spec.sql, StrategyKind::TightOptimized)
-            .expect("DL2SQL-OP runs");
+        let op =
+            env.engine.execute(&spec.sql, StrategyKind::TightOptimized).expect("DL2SQL-OP runs");
         let t_plain = plain.breakdown.total().as_secs_f64() * 1e3;
         let t_op = op.breakdown.total().as_secs_f64() * 1e3;
         let speedup = t_plain / t_op.max(1e-9);

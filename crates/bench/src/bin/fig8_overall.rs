@@ -46,16 +46,17 @@ fn main() {
         &["Device", "Approach", "Loading", "Inference", "Relational", "Total"],
     );
 
+    // Parse each query once; every strategy replays the prepared form.
+    let prepared: Vec<_> =
+        queries.iter().map(|q| (q, env.engine.prepare(&q.sql).expect("query parses"))).collect();
     let mut edge_totals: Vec<(StrategyKind, f64)> = Vec::new();
     for kind in StrategyKind::all() {
         // Average the measured breakdown and simulated work over the mix.
         let mut sum = CostBreakdown::default();
         let mut sim = collab::metrics::SimSummary::default();
-        for q in &queries {
-            let out = env
-                .engine
-                .execute(&q.sql, kind)
-                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.label(), q.sql));
+        for (q, p) in &prepared {
+            let out =
+                p.run(kind).unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.label(), q.sql));
             sum.loading += out.breakdown.loading;
             sum.inference += out.breakdown.inference;
             sum.relational += out.breakdown.relational;
@@ -82,8 +83,7 @@ fn main() {
         // DL2SQL's inference is SQL on the database host CPU: it cannot
         // ride an accelerator (the paper's deployment likewise runs
         // ClickHouse on the CPU of the GPU server).
-        let uses_accelerator =
-            matches!(kind, StrategyKind::Independent | StrategyKind::LooseUdf);
+        let uses_accelerator = matches!(kind, StrategyKind::Independent | StrategyKind::LooseUdf);
         for (profile, label) in devices {
             let projected = collab::metrics::project_to_device_with(
                 &avg,
@@ -116,10 +116,7 @@ fn main() {
     report.print();
 
     // Shape check: DL2SQL-OP wins on the edge device.
-    let best = edge_totals
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("strategies ran");
+    let best = edge_totals.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("strategies ran");
     println!(
         "edge-device winner: {} ({:.1} ms) — paper: DL2SQL-OP performs best on the edge device",
         best.0.label(),

@@ -47,10 +47,8 @@ fn main() {
     for (i, sel) in PAPER_SELECTIVITIES.iter().enumerate() {
         // Type 3 exercises the selectivity-driven pruning directly.
         let spec = template(QueryType::Type3, *sel, "");
-        let op = env
-            .engine
-            .execute(&spec.sql, StrategyKind::TightOptimized)
-            .expect("DL2SQL-OP runs");
+        let op =
+            env.engine.execute(&spec.sql, StrategyKind::TightOptimized).expect("DL2SQL-OP runs");
         let total = op.breakdown.total().as_secs_f64() * 1e3;
         report.row(&[
             format!("{:.2}", sel * 100.0),

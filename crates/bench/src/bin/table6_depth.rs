@@ -24,7 +24,8 @@ const PAPER_PARAMS: [u64; 8] =
 fn main() {
     // Smaller dataset: deep ResNets in SQL are heavy per inference.
     let env = env(600, vec![1, 12, 12]);
-    let repo_cfg = RepoConfig { keyframe_shape: vec![1, 12, 12], histogram_samples: 16, ..Default::default() };
+    let repo_cfg =
+        RepoConfig { keyframe_shape: vec![1, 12, 12], histogram_samples: 16, ..Default::default() };
 
     let mut report = Report::new(
         "Table VI: cost vs model depth, selectivity 0.1% (host ms)",
@@ -47,7 +48,12 @@ fn main() {
     for (i, depth) in DEPTHS.iter().enumerate() {
         let spec = resnet_spec(*depth, &repo_cfg);
         let nudf = spec.name.clone();
-        env.engine.repo().register(collab::NudfSpec::new(nudf.clone(), Arc::clone(&spec.model), spec.output.clone(), spec.class_probs.clone()));
+        env.engine.repo().register(collab::NudfSpec::new(
+            nudf.clone(),
+            Arc::clone(&spec.model),
+            spec.output.clone(),
+            spec.class_probs.clone(),
+        ));
         // The paper's 0.1% of 10M fabric rows is 10k rows; at laptop scale
         // that quantizes to zero, so the sweep uses 5% of the 60-row
         // fabric table (~3 rows, ~30 keyframes) instead.

@@ -17,14 +17,12 @@ pub struct Env {
 /// Builds the environment with `video_rows` videos of `keyframe_shape`
 /// keyframes.
 pub fn env(video_rows: usize, keyframe_shape: Vec<usize>) -> Env {
-    let config = DatasetConfig { video_rows, keyframe_shape: keyframe_shape.clone(), ..Default::default() };
+    let config =
+        DatasetConfig { video_rows, keyframe_shape: keyframe_shape.clone(), ..Default::default() };
     let db = Arc::new(Database::new());
     let dataset = build_dataset(&db, &config).expect("dataset builds");
-    let repo = build_repo(&RepoConfig {
-        keyframe_shape,
-        patterns: config.patterns,
-        ..Default::default()
-    });
+    let repo =
+        build_repo(&RepoConfig { keyframe_shape, patterns: config.patterns, ..Default::default() });
     Env { engine: CollabEngine::new(db, repo), dataset, config }
 }
 

@@ -3,6 +3,8 @@
 use std::sync::Arc;
 
 use dl2sql::NeuralRegistry;
+use minidb::sql::ast::{Query, Statement};
+use minidb::sql::parser::parse_statement;
 use minidb::Database;
 
 use crate::error::Result;
@@ -64,16 +66,16 @@ pub struct CollabEngine {
 impl CollabEngine {
     /// Builds an engine over an already-populated database and repository
     /// (spawns the DL-serving thread used by the independent strategy).
+    ///
+    /// The database's `parallelism` knob is propagated to the process-wide
+    /// kernel pool, so a `Database::builder().parallelism(n)` engine runs
+    /// `neuro`'s conv/linear loops — the DB-UDF and DB-PyTorch inference
+    /// paths — on the same number of workers as the SQL executor.
     pub fn new(db: Arc<Database>, repo: Arc<ModelRepo>) -> Self {
+        taskpool::set_default_parallelism(db.exec_config().parallelism);
         let meter = InferenceMeter::shared();
         let server = Arc::new(DlServer::start(Arc::clone(&repo), Arc::clone(&meter)));
-        CollabEngine {
-            db,
-            repo,
-            registry: NeuralRegistry::shared(),
-            meter,
-            server,
-        }
+        CollabEngine { db, repo, registry: NeuralRegistry::shared(), meter, server }
     }
 
     /// The shared database.
@@ -122,8 +124,39 @@ impl CollabEngine {
         }
     }
 
+    /// Parses one collaborative query for repeated execution. The SQL text
+    /// is parsed exactly once; [`PreparedCollabQuery::run`] can then replay
+    /// it under any strategy (the bench harnesses run the same query under
+    /// all four configurations).
+    pub fn prepare(&self, sql: &str) -> Result<PreparedCollabQuery<'_>> {
+        let Statement::Query(query) = parse_statement(sql)? else {
+            return Err(crate::Error::Coordinator(
+                "collaborative queries are SELECT statements".into(),
+            ));
+        };
+        Ok(PreparedCollabQuery { engine: self, query })
+    }
+
     /// Executes one collaborative query under one strategy.
     pub fn execute(&self, sql: &str, kind: StrategyKind) -> Result<StrategyOutcome> {
-        self.strategy(kind).execute(sql)
+        self.prepare(sql)?.run(kind)
+    }
+}
+
+/// A collaborative query parsed once, runnable under every strategy.
+pub struct PreparedCollabQuery<'a> {
+    engine: &'a CollabEngine,
+    query: Query,
+}
+
+impl PreparedCollabQuery<'_> {
+    /// The parsed query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Runs the query under `kind` without re-parsing.
+    pub fn run(&self, kind: StrategyKind) -> Result<StrategyOutcome> {
+        self.engine.strategy(kind).execute_query(&self.query)
     }
 }

@@ -24,8 +24,7 @@ use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{bounded, Sender};
-use minidb::sql::ast::{Expr, FromItem, Query, SelectItem, Statement, TableFactor};
-use minidb::sql::parser::parse_statement;
+use minidb::sql::ast::{Expr, FromItem, Query, SelectItem, TableFactor};
 use minidb::{Column, Database, Field, Schema, Table};
 use neuro::serialize::tensor_from_bytes;
 
@@ -77,9 +76,7 @@ impl DlServer {
         self.tx
             .send(InferRequest { nudf: nudf.to_string(), payload, reply: reply_tx })
             .map_err(|_| Error::Channel("DL server is down".into()))?;
-        reply_rx
-            .recv()
-            .map_err(|_| Error::Channel("DL server dropped the request".into()))?
+        reply_rx.recv().map_err(|_| Error::Channel("DL server dropped the request".into()))?
     }
 }
 
@@ -221,10 +218,9 @@ fn rewrite(expr: &Expr, calls: &[Expr], renamer: &Renamer) -> Result<Expr> {
     Ok(match expr {
         Expr::Column { qualifier, name } => Expr::col(&renamer.rename(qualifier.as_deref(), name)?),
         Expr::Literal(_) => expr.clone(),
-        Expr::Unary { op, expr } => Expr::Unary {
-            op: *op,
-            expr: Box::new(rewrite(expr, calls, renamer)?),
-        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(rewrite(expr, calls, renamer)?) }
+        }
         Expr::Binary { left, op, right } => Expr::Binary {
             left: Box::new(rewrite(left, calls, renamer)?),
             op: *op,
@@ -232,10 +228,7 @@ fn rewrite(expr: &Expr, calls: &[Expr], renamer: &Renamer) -> Result<Expr> {
         },
         Expr::Function { name, args, star, distinct } => Expr::Function {
             name: name.clone(),
-            args: args
-                .iter()
-                .map(|a| rewrite(a, calls, renamer))
-                .collect::<Result<_>>()?,
+            args: args.iter().map(|a| rewrite(a, calls, renamer)).collect::<Result<_>>()?,
             star: *star,
             distinct: *distinct,
         },
@@ -250,9 +243,7 @@ fn rewrite(expr: &Expr, calls: &[Expr], renamer: &Renamer) -> Result<Expr> {
 /// The table binding a keyframe argument belongs to.
 fn argument_binding(arg: &Expr, bindings: &[(String, Schema)]) -> Result<String> {
     let Expr::Column { qualifier, name } = arg else {
-        return Err(Error::Coordinator(
-            "nUDF arguments must be plain keyframe columns".into(),
-        ));
+        return Err(Error::Coordinator("nUDF arguments must be plain keyframe columns".into()));
     };
     if let Some(q) = qualifier {
         return Ok(bindings
@@ -308,15 +299,12 @@ impl Strategy for Independent {
         "DB-PyTorch"
     }
 
-    fn execute(&self, sql: &str) -> Result<StrategyOutcome> {
+    fn execute_query(&self, q: &Query) -> Result<StrategyOutcome> {
         self.meter.reset();
         let mut loading = Duration::ZERO;
         let mut relational = Duration::ZERO;
 
-        let Statement::Query(q) = parse_statement(sql)? else {
-            return Err(Error::Coordinator("collaborative queries are SELECT statements".into()));
-        };
-        let calls = nudf_calls_in_query(&q, &self.repo);
+        let calls = nudf_calls_in_query(q, &self.repo);
 
         // ---- split the predicate -------------------------------------
         let (db_conjuncts, learn_conjuncts): (Vec<Expr>, Vec<Expr>) = match &q.predicate {
@@ -362,7 +350,9 @@ impl Strategy for Independent {
             }
         }
         for (i, call) in calls.iter().enumerate() {
-            let Expr::Function { name, args, .. } = call else { unreachable!("calls are functions") };
+            let Expr::Function { name, args, .. } = call else {
+                unreachable!("calls are functions")
+            };
             let spec = self.repo.require(name)?;
             let expected = spec.arg_types().len();
             if args.len() != expected {
@@ -409,8 +399,9 @@ impl Strategy for Independent {
         // * Types 1 and 4 — no usable dependency: the DL system works
         //   through every keyframe its own table's local predicates admit
         //   (the "unnecessary inference" the DL2SQL-OP hints avoid).
-        let qtype = crate::query::classify_query(&q, &self.repo);
-        let gate_by_qdb = matches!(qtype, crate::query::QueryType::Type2 | crate::query::QueryType::Type3);
+        let qtype = crate::query::classify_query(q, &self.repo);
+        let gate_by_qdb =
+            matches!(qtype, crate::query::QueryType::Type2 | crate::query::QueryType::Type3);
 
         let renamer = Renamer {
             bindings: bindings
@@ -458,16 +449,14 @@ impl Strategy for Independent {
                     None
                 };
                 for row in 0..base.num_rows() {
-                    let cond = cond_col
-                        .map(|c| c.value(row).as_f64())
-                        .transpose()
-                        .map_err(Error::Db)?;
+                    let cond =
+                        cond_col.map(|c| c.value(row).as_f64()).transpose().map_err(Error::Db)?;
                     push_item(arg_col.value(row), cond)?;
                 }
                 relational += t_work.elapsed();
             } else {
                 let arg_binding = argument_binding(&args[0], &bindings)?;
-                let arg_factor = find_factor(&q, &arg_binding)?;
+                let arg_factor = find_factor(q, &arg_binding)?;
                 let local_conjuncts: Vec<Expr> = db_conjuncts
                     .iter()
                     .filter(|c| conjunct_local_to(c, &arg_binding, &bindings))
@@ -524,8 +513,7 @@ impl Strategy for Independent {
             loading += t_ser.elapsed();
 
             let response = self.server.infer(name, payload)?;
-            self.meter
-                .add_cross_bytes((request_bytes + response.payload.len()) as u64);
+            self.meter.add_cross_bytes((request_bytes + response.payload.len()) as u64);
 
             // Decode predictions and key them by their (keyframe,
             // condition) item (loading).
@@ -549,20 +537,15 @@ impl Strategy for Independent {
             // list came from the base itself; the local work list is a
             // superset of the base's keyframes — the lookup cannot miss.
             let arg_col = base.column_by_name(&format!("__arg_{i}"))?;
-            let cond_col = if conditional {
-                Some(base.column_by_name(&format!("__cond_{i}"))?)
-            } else {
-                None
-            };
+            let cond_col =
+                if conditional { Some(base.column_by_name(&format!("__cond_{i}"))?) } else { None };
             let mut col = Column::empty(spec.output.data_type());
             for row in 0..base.num_rows() {
                 let minidb::Value::Blob(bytes) = arg_col.value(row) else {
                     return Err(Error::Coordinator("keyframe column is not a blob".into()));
                 };
-                let cond = cond_col
-                    .map(|c| c.value(row).as_f64())
-                    .transpose()
-                    .map_err(Error::Db)?;
+                let cond =
+                    cond_col.map(|c| c.value(row).as_f64()).transpose().map_err(Error::Db)?;
                 let v = by_item.get(&item_key(&bytes, cond)).ok_or_else(|| {
                     Error::Coordinator("base row's keyframe missing from the DL work list".into())
                 })?;
@@ -620,11 +603,7 @@ impl Strategy for Independent {
                 .iter()
                 .map(|g| rewrite(g, &calls, &renamer))
                 .collect::<Result<_>>()?,
-            having: q
-                .having
-                .as_ref()
-                .map(|h| rewrite(h, &calls, &renamer))
-                .transpose()?,
+            having: q.having.as_ref().map(|h| rewrite(h, &calls, &renamer)).transpose()?,
             order_by: q
                 .order_by
                 .iter()

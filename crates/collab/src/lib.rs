@@ -30,10 +30,12 @@ pub mod nudf;
 pub mod query;
 pub mod tight;
 
-pub use engine::{CollabEngine, StrategyKind};
+pub use engine::{CollabEngine, PreparedCollabQuery, StrategyKind};
 pub use error::{Error, Result};
 pub use metrics::{CostBreakdown, StrategyOutcome};
-pub use nudf::{blob_to_tensor, tensor_to_blob, ConditionalVariant, ModelRepo, NudfOutput, NudfSpec};
+pub use nudf::{
+    blob_to_tensor, tensor_to_blob, ConditionalVariant, ModelRepo, NudfOutput, NudfSpec,
+};
 pub use query::{classify_query, classify_sql, QueryType};
 
 /// The strategy interface all three implementations share.
@@ -41,7 +43,18 @@ pub trait Strategy {
     /// Display name ("DB-PyTorch", "DB-UDF", "DL2SQL", "DL2SQL-OP").
     fn name(&self) -> &'static str;
 
-    /// Executes a collaborative query, returning the result table and the
-    /// cost breakdown.
-    fn execute(&self, sql: &str) -> Result<StrategyOutcome>;
+    /// Executes an already-parsed collaborative query, returning the
+    /// result table and the cost breakdown. This is the primitive the
+    /// repeated-execution paths ([`CollabEngine::prepare`], the bench
+    /// harnesses) call so the SQL text is parsed exactly once.
+    fn execute_query(&self, q: &minidb::sql::ast::Query) -> Result<StrategyOutcome>;
+
+    /// Parses `sql` and delegates to [`Strategy::execute_query`].
+    fn execute(&self, sql: &str) -> Result<StrategyOutcome> {
+        let minidb::sql::ast::Statement::Query(q) = minidb::sql::parser::parse_statement(sql)?
+        else {
+            return Err(Error::Coordinator("collaborative queries are SELECT statements".into()));
+        };
+        self.execute_query(&q)
+    }
 }

@@ -11,11 +11,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use minidb::sql::ast::Statement;
-use minidb::sql::parser::parse_statement;
+use minidb::sql::ast::Query;
 use minidb::{Database, ScalarUdf};
 
-use crate::error::{Error, Result};
+use crate::error::Result;
 use crate::metrics::{CostBreakdown, InferenceMeter, StrategyOutcome};
 use crate::nudf::ModelRepo;
 use crate::query::nudf_calls_in_query;
@@ -40,7 +39,11 @@ impl LooseUdf {
     /// is fed to the model in one call ("nUDF is performed in a batch
     /// manner"), amortizing per-call overhead and the host↔device round
     /// trip. Used by the batched-UDF ablation harness.
-    pub fn new_batched(db: Arc<Database>, repo: Arc<ModelRepo>, meter: Arc<InferenceMeter>) -> Self {
+    pub fn new_batched(
+        db: Arc<Database>,
+        repo: Arc<ModelRepo>,
+        meter: Arc<InferenceMeter>,
+    ) -> Self {
         LooseUdf { db, repo, meter, batched: true }
     }
 }
@@ -50,12 +53,9 @@ impl Strategy for LooseUdf {
         "DB-UDF"
     }
 
-    fn execute(&self, sql: &str) -> Result<StrategyOutcome> {
+    fn execute_query(&self, q: &Query) -> Result<StrategyOutcome> {
         self.meter.reset();
-        let Statement::Query(q) = parse_statement(sql)? else {
-            return Err(Error::Coordinator("collaborative queries are SELECT statements".into()));
-        };
-        let calls = nudf_calls_in_query(&q, &self.repo);
+        let calls = nudf_calls_in_query(q, &self.repo);
 
         // ---- loading: compile → binary → load → register ---------------
         let mut loading = Duration::ZERO;
@@ -96,8 +96,7 @@ impl Strategy for LooseUdf {
                 spec.arg_types(),
                 spec.output.data_type(),
                 move |args| {
-                    let condition =
-                        args.get(1).map(|v| v.as_f64()).transpose()?;
+                    let condition = args.get(1).map(|v| v.as_f64()).transpose()?;
                     // Row-at-a-time UDF inference: every call is a
                     // synchronous round trip to the inference device.
                     meter.clock.charge_round_trip();
@@ -135,17 +134,17 @@ impl Strategy for LooseUdf {
         }
 
         // The stock optimizer: no UDF hints, no customized cost model.
-        self.db.set_cost_model(Arc::new(minidb::DefaultCostModel::default()));
-        self.db.set_optimizer_config(minidb::optimizer::OptimizerConfig::default());
+        self.db.swap_cost_model(Arc::new(minidb::DefaultCostModel::default()));
+        self.db.swap_optimizer_config(minidb::optimizer::OptimizerConfig::default());
 
         // ---- run entirely inside the database ---------------------------
         let t_run = Instant::now();
-        let result = self.db.execute(sql)?;
+        let table = self.db.run_query(q)?;
         let total_run = t_run.elapsed();
         let inference = self.meter.total();
 
         Ok(StrategyOutcome {
-            table: result.into_table(),
+            table,
             breakdown: CostBreakdown {
                 loading,
                 inference,

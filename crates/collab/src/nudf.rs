@@ -59,12 +59,9 @@ impl NudfOutput {
     pub fn to_value(&self, class: usize) -> Value {
         match self {
             NudfOutput::Bool { true_class } => Value::Bool(class == *true_class),
-            NudfOutput::Label { labels } => Value::Utf8(
-                labels
-                    .get(class)
-                    .cloned()
-                    .unwrap_or_else(|| format!("class_{class}")),
-            ),
+            NudfOutput::Label { labels } => {
+                Value::Utf8(labels.get(class).cloned().unwrap_or_else(|| format!("class_{class}")))
+            }
             NudfOutput::ClassId => Value::Int64(class as i64),
         }
     }
@@ -82,17 +79,12 @@ impl NudfOutput {
                 .iter()
                 .enumerate()
                 .map(|(i, &p)| {
-                    (
-                        Value::Utf8(labels.get(i).cloned().unwrap_or_else(|| format!("class_{i}"))),
-                        p,
-                    )
+                    (Value::Utf8(labels.get(i).cloned().unwrap_or_else(|| format!("class_{i}"))), p)
                 })
                 .collect(),
-            NudfOutput::ClassId => class_probs
-                .iter()
-                .enumerate()
-                .map(|(i, &p)| (Value::Int64(i as i64), p))
-                .collect(),
+            NudfOutput::ClassId => {
+                class_probs.iter().enumerate().map(|(i, &p)| (Value::Int64(i as i64), p)).collect()
+            }
         }
     }
 }
@@ -131,7 +123,12 @@ pub struct NudfSpec {
 
 impl NudfSpec {
     /// An unconditional spec.
-    pub fn new(name: impl Into<String>, model: Arc<Model>, output: NudfOutput, class_probs: Vec<f64>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        model: Arc<Model>,
+        output: NudfOutput,
+        class_probs: Vec<f64>,
+    ) -> Self {
         NudfSpec { name: name.into(), model, output, class_probs, variants: Vec::new() }
     }
 
@@ -263,7 +260,8 @@ mod tests {
     fn output_histograms() {
         let b = NudfOutput::Bool { true_class: 1 }.value_histogram(&[0.7, 0.3]);
         assert!(b.contains(&(Value::Bool(true), 0.3)));
-        let l = NudfOutput::Label { labels: vec!["a".into(), "b".into()] }.value_histogram(&[0.4, 0.6]);
+        let l =
+            NudfOutput::Label { labels: vec!["a".into(), "b".into()] }.value_histogram(&[0.4, 0.6]);
         assert_eq!(l[1], (Value::Utf8("b".into()), 0.6));
         let c = NudfOutput::ClassId.value_histogram(&[1.0]);
         assert_eq!(c[0], (Value::Int64(0), 1.0));

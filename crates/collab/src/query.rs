@@ -119,10 +119,9 @@ pub fn classify_query(q: &Query, repo: &ModelRepo) -> QueryType {
             if comparison {
                 let l_udf = contains_nudf(left, repo);
                 let r_udf = contains_nudf(right, repo);
-                let l_col = left.any(&|e| matches!(e, Expr::Column { .. }) && !contains_nudf(e, repo));
-                let r_col = right.any(&|e| {
-                    matches!(e, Expr::Column { .. })
-                });
+                let l_col =
+                    left.any(&|e| matches!(e, Expr::Column { .. }) && !contains_nudf(e, repo));
+                let r_col = right.any(&|e| matches!(e, Expr::Column { .. }));
                 // A column on the opposite side of the nUDF (not merely the
                 // nUDF's own argument) ties the two subsystems together.
                 if (l_udf && r_col && !r_udf) || (r_udf && l_col && !l_udf) {
@@ -133,9 +132,11 @@ pub fn classify_query(q: &Query, repo: &ModelRepo) -> QueryType {
     }
 
     // Type 2: nUDF inside the select list (typically inside an aggregate).
-    let in_projection = q.projections.iter().any(|item| {
-        matches!(item, SelectItem::Expr { expr, .. } if contains_nudf(expr, repo))
-    }) || q.having.as_ref().is_some_and(|h| contains_nudf(h, repo));
+    let in_projection = q
+        .projections
+        .iter()
+        .any(|item| matches!(item, SelectItem::Expr { expr, .. } if contains_nudf(expr, repo)))
+        || q.having.as_ref().is_some_and(|h| contains_nudf(h, repo));
     if in_projection {
         return QueryType::Type2;
     }
@@ -144,9 +145,8 @@ pub fn classify_query(q: &Query, repo: &ModelRepo) -> QueryType {
     // predicates through a join?
     let has_nudf_filter = conjuncts.iter().any(|c| contains_nudf(c, repo));
     let has_join = conjuncts.iter().any(is_column_to_column_eq);
-    let has_relational_filter = conjuncts
-        .iter()
-        .any(|c| !contains_nudf(c, repo) && !is_column_to_column_eq(c));
+    let has_relational_filter =
+        conjuncts.iter().any(|c| !contains_nudf(c, repo) && !is_column_to_column_eq(c));
     if has_nudf_filter && has_join && has_relational_filter {
         return QueryType::Type3;
     }
@@ -164,7 +164,10 @@ mod tests {
         let model = Arc::new(neuro::zoo::student(vec![1, 4, 4], 2, 1));
         for (name, output) in [
             ("nUDF_detect", NudfOutput::Bool { true_class: 1 }),
-            ("nUDF_classify", NudfOutput::Label { labels: vec!["Floral Pattern".into(), "Stripe".into()] }),
+            (
+                "nUDF_classify",
+                NudfOutput::Label { labels: vec!["Floral Pattern".into(), "Stripe".into()] },
+            ),
             ("nUDF_recog", NudfOutput::ClassId),
         ] {
             r.register(NudfSpec::new(name, Arc::clone(&model), output, vec![0.5, 0.5]));

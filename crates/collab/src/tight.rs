@@ -11,11 +11,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dl2sql::{compile_model, hints, NeuralRegistry, Runner};
-use minidb::sql::ast::Statement;
-use minidb::sql::parser::parse_statement;
+use minidb::sql::ast::Query;
 use minidb::{Database, ScalarUdf};
 
-use crate::error::{Error, Result};
+use crate::error::Result;
 use crate::metrics::{CostBreakdown, InferenceMeter, StrategyOutcome};
 use crate::nudf::{blob_to_tensor, ModelRepo};
 use crate::query::nudf_calls_in_query;
@@ -52,12 +51,9 @@ impl Strategy for Tight {
         }
     }
 
-    fn execute(&self, sql: &str) -> Result<StrategyOutcome> {
+    fn execute_query(&self, q: &Query) -> Result<StrategyOutcome> {
         self.meter.reset();
-        let Statement::Query(q) = parse_statement(sql)? else {
-            return Err(Error::Coordinator("collaborative queries are SELECT statements".into()));
-        };
-        let calls = nudf_calls_in_query(&q, &self.repo);
+        let calls = nudf_calls_in_query(q, &self.repo);
 
         // ---- loading: model → relational tables -------------------------
         let mut loading = Duration::ZERO;
@@ -97,8 +93,8 @@ impl Strategy for Tight {
                 spec.arg_types(),
                 spec.output.data_type(),
                 move |args| {
-                    let tensor = blob_to_tensor(&args[0])
-                        .map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                    let tensor =
+                        blob_to_tensor(&args[0]).map_err(|e| minidb::Error::Exec(e.to_string()))?;
                     // Condition-selected SQL program (paper Type 3).
                     let runner = match args.get(1).map(|v| v.as_f64()).transpose()? {
                         Some(cond) => variant_runners
@@ -110,9 +106,8 @@ impl Strategy for Tight {
                         None => &default_runner,
                     };
                     let t = Instant::now();
-                    let out = runner
-                        .infer(&tensor)
-                        .map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                    let out =
+                        runner.infer(&tensor).map_err(|e| minidb::Error::Exec(e.to_string()))?;
                     meter.add(t.elapsed());
                     meter.clock.charge_flops(flops_per_inference);
                     Ok(output.to_value(out.predicted_class))
@@ -136,12 +131,12 @@ impl Strategy for Tight {
 
         // ---- run entirely inside the database -----------------------------
         let t_run = Instant::now();
-        let result = self.db.execute(sql)?;
+        let table = self.db.run_query(q)?;
         let total_run = t_run.elapsed();
         let inference = self.meter.total();
 
         Ok(StrategyOutcome {
-            table: result.into_table(),
+            table,
             breakdown: CostBreakdown {
                 loading,
                 inference,

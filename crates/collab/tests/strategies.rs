@@ -10,7 +10,7 @@ use collab::{
 };
 use minidb::sql::ast::Statement;
 use minidb::sql::parser::parse_statement;
-use minidb::{Column, Database, DataType, Field, Schema, Table, Value};
+use minidb::{Column, DataType, Database, Field, Schema, Table, Value};
 use neuro::Tensor;
 
 const KEYFRAME_SHAPE: [usize; 3] = [1, 8, 8];
@@ -80,10 +80,18 @@ fn build_repo() -> Arc<ModelRepo> {
     let detect = Arc::new(neuro::zoo::student(KEYFRAME_SHAPE.to_vec(), 2, 41));
     let classify = Arc::new(neuro::zoo::student(KEYFRAME_SHAPE.to_vec(), 3, 42));
     let recog = Arc::new(neuro::zoo::student(KEYFRAME_SHAPE.to_vec(), 4, 43));
-    repo.register(NudfSpec::new("nUDF_detect", detect, NudfOutput::Bool { true_class: 1 }, vec![0.8, 0.2]));
-    repo.register(NudfSpec::new("nUDF_classify", classify, NudfOutput::Label {
-            labels: vec!["Floral Pattern".into(), "Stripe".into(), "Dots".into()],
-        }, vec![0.3, 0.4, 0.3]));
+    repo.register(NudfSpec::new(
+        "nUDF_detect",
+        detect,
+        NudfOutput::Bool { true_class: 1 },
+        vec![0.8, 0.2],
+    ));
+    repo.register(NudfSpec::new(
+        "nUDF_classify",
+        classify,
+        NudfOutput::Label { labels: vec!["Floral Pattern".into(), "Stripe".into(), "Dots".into()] },
+        vec![0.3, 0.4, 0.3],
+    ));
     repo.register(NudfSpec::new("nUDF_recog", recog, NudfOutput::ClassId, vec![0.25; 4]));
     Arc::new(repo)
 }
@@ -198,9 +206,8 @@ fn results_match_a_hand_computed_oracle() {
             expected.push(t as i64);
         }
     }
-    let got: Vec<i64> = (0..outcome.table.num_rows())
-        .map(|r| outcome.table.column(0).i64_at(r))
-        .collect();
+    let got: Vec<i64> =
+        (0..outcome.table.num_rows()).map(|r| outcome.table.column(0).i64_at(r)).collect();
     assert_eq!(got, expected);
     assert!(!expected.is_empty(), "oracle should select some rows");
 }
@@ -235,9 +242,8 @@ fn conditional_nudf_agrees_across_strategies_and_oracle() {
                and nUDF_detect_cond(V.keyframe, F.humidity) = TRUE ORDER BY F.transID";
     let mut reference: Option<Vec<String>> = None;
     for kind in StrategyKind::all() {
-        let out = engine
-            .execute(sql, kind)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.label()));
+        let out =
+            engine.execute(sql, kind).unwrap_or_else(|e| panic!("{} failed: {e}", kind.label()));
         let rows = canonical(&out.table);
         match &reference {
             None => reference = Some(rows),
@@ -260,9 +266,8 @@ fn conditional_nudf_agrees_across_strategies_and_oracle() {
     assert_eq!(reference.unwrap(), expected);
     // The two variants must actually disagree somewhere for this test to
     // mean anything.
-    let disagree = (0..40u64).any(|t| {
-        base.predict(&keyframe(t)).unwrap() != high.predict(&keyframe(t)).unwrap()
-    });
+    let disagree = (0..40u64)
+        .any(|t| base.predict(&keyframe(t)).unwrap() != high.predict(&keyframe(t)).unwrap());
     assert!(disagree, "variants never disagree — weak test setup");
 }
 
@@ -276,9 +281,8 @@ fn batched_loose_udf_matches_row_at_a_time() {
     let meter = InferenceMeter::shared();
     let sql = "SELECT F.transID FROM fabric F, video V \
                WHERE F.transID = V.transID and nUDF_detect(V.keyframe) = TRUE ORDER BY F.transID";
-    let row_wise = LooseUdf::new(Arc::clone(&db), Arc::clone(&repo), Arc::clone(&meter))
-        .execute(sql)
-        .unwrap();
+    let row_wise =
+        LooseUdf::new(Arc::clone(&db), Arc::clone(&repo), Arc::clone(&meter)).execute(sql).unwrap();
     let batched = LooseUdf::new_batched(Arc::clone(&db), Arc::clone(&repo), Arc::clone(&meter))
         .execute(sql)
         .unwrap();

@@ -157,9 +157,7 @@ impl CompiledModel {
     /// The model's *parameter* tables (kernels + biases), excluding the
     /// geometry-only mapping tables.
     pub fn parameter_tables(&self) -> impl Iterator<Item = &String> {
-        self.persistent_tables
-            .iter()
-            .filter(|n| !self.mapping_tables.contains(n))
+        self.persistent_tables.iter().filter(|n| !self.mapping_tables.contains(n))
     }
 
     /// Compressed on-disk bytes of the parameter tables — the quantity
@@ -174,7 +172,11 @@ impl CompiledModel {
 
 /// Compiles `model` into SQL, loading its weights into `db` under a
 /// sanitized name prefix (default pre-join strategy).
-pub fn compile_model(db: &Database, registry: &NeuralRegistry, model: &Model) -> Result<CompiledModel> {
+pub fn compile_model(
+    db: &Database,
+    registry: &NeuralRegistry,
+    model: &Model,
+) -> Result<CompiledModel> {
     compile_model_with_strategy(db, registry, model, PreJoinStrategy::None)
 }
 
@@ -231,9 +233,8 @@ pub fn compile_model_with_strategy(
         }
     }
 
-    let predict_sql = format!(
-        "SELECT KernelID FROM {output_table} ORDER BY Value DESC, KernelID ASC LIMIT 1"
-    );
+    let predict_sql =
+        format!("SELECT KernelID FROM {output_table} ORDER BY Value DESC, KernelID ASC LIMIT 1");
     Ok(CompiledModel {
         model_name: model.name.clone(),
         prefix,
@@ -301,7 +302,12 @@ impl<'a> Compiler<'a> {
         Ok((cur, shape))
     }
 
-    fn compile_layer(&mut self, layer: &Layer, cur: String, shape: Shape) -> Result<(String, Shape)> {
+    fn compile_layer(
+        &mut self,
+        layer: &Layer,
+        cur: String,
+        shape: Shape,
+    ) -> Result<(String, Shape)> {
         match layer {
             Layer::Conv2d { weight, bias, stride, padding } => {
                 self.emit_conv(cur, shape, weight, bias.as_deref(), *stride, *padding)
@@ -309,8 +315,12 @@ impl<'a> Compiler<'a> {
             Layer::Deconv2d { weight, bias, stride, padding } => {
                 self.emit_deconv(cur, shape, weight, bias.as_deref(), *stride, *padding)
             }
-            Layer::MaxPool2d { kernel, stride } => self.emit_pool(cur, shape, *kernel, *stride, "MAX"),
-            Layer::AvgPool2d { kernel, stride } => self.emit_pool(cur, shape, *kernel, *stride, "AVG"),
+            Layer::MaxPool2d { kernel, stride } => {
+                self.emit_pool(cur, shape, *kernel, *stride, "MAX")
+            }
+            Layer::AvgPool2d { kernel, stride } => {
+                self.emit_pool(cur, shape, *kernel, *stride, "AVG")
+            }
             Layer::GlobalAvgPool => self.emit_gap(cur, shape),
             Layer::Relu => self.emit_relu(cur, shape),
             Layer::Sigmoid => self.emit_sigmoid(cur, shape),
@@ -526,8 +536,7 @@ impl<'a> Compiler<'a> {
                 )?;
                 self.db.catalog().create_table(&prejoined, table, true)?;
                 self.db.catalog().create_index(&prejoined, "TupleID")?;
-                self.registry
-                    .register(&prejoined, TableRole::Mapping { rows: n_rows as u64 });
+                self.registry.register(&prejoined, TableRole::Mapping { rows: n_rows as u64 });
                 self.persistent.push(prejoined.clone());
 
                 // Inference: a single join with the pre-joined table.
@@ -551,8 +560,7 @@ impl<'a> Compiler<'a> {
             storage::load_bias_table(self.db, &bias_table, b)?;
             self.persistent.push(bias_table.clone());
             let biased = self.tmp("bias");
-            self.registry
-                .register(&biased, TableRole::State { rows: geom.out_state_rows() });
+            self.registry.register(&biased, TableRole::State { rows: geom.out_state_rows() });
             self.step(
                 format!("Bias{n}"),
                 StepKind::Bias,
@@ -569,7 +577,13 @@ impl<'a> Compiler<'a> {
 
     // -- normalization (paper Q4) -----------------------------------------
 
-    fn emit_norm(&mut self, cur: String, shape: Shape, eps: f32, kind: StepKind) -> Result<(String, Shape)> {
+    fn emit_norm(
+        &mut self,
+        cur: String,
+        shape: Shape,
+        eps: f32,
+        kind: StepKind,
+    ) -> Result<(String, Shape)> {
         self.counts.bn += 1;
         let n = self.counts.bn;
         let label = format!("{}{n}", if kind == StepKind::BatchNorm { "BN" } else { "IN" });
@@ -666,8 +680,7 @@ impl<'a> Compiler<'a> {
         let out_h = (h - kernel) / stride + 1;
         let out_w = (w - kernel) / stride + 1;
         let out = self.tmp("pool");
-        self.registry
-            .register(&out, TableRole::State { rows: (c * out_h * out_w) as u64 });
+        self.registry.register(&out, TableRole::State { rows: (c * out_h * out_w) as u64 });
         let statements = if self.strategy == PreJoinStrategy::None {
             // Paper Q3 on a staged table.
             let staged = self.tmp("pfm");
@@ -751,9 +764,7 @@ impl<'a> Compiler<'a> {
             return Err(Error::Geometry("FC weight must be [out,in]".into()));
         };
         if *in_dim != len {
-            return Err(Error::Geometry(format!(
-                "FC expects {in_dim} inputs, state has {len}"
-            )));
+            return Err(Error::Geometry(format!("FC expects {in_dim} inputs, state has {len}")));
         }
         self.counts.fc += 1;
         let n = self.counts.fc;
@@ -912,7 +923,8 @@ impl<'a> Compiler<'a> {
         let mut acc = cur;
         for branch in branches {
             self.protected.insert(acc.clone());
-            let (bout, bshape) = self.compile_layers(branch, acc.clone(), Shape::Map { c, h, w })?;
+            let (bout, bshape) =
+                self.compile_layers(branch, acc.clone(), Shape::Map { c, h, w })?;
             let Shape::Map { c: bc, h: bh, w: bw } = bshape else {
                 return Err(Error::Geometry("dense branch must produce a feature map".into()));
             };
@@ -923,8 +935,7 @@ impl<'a> Compiler<'a> {
             }
             self.counts.misc += 1;
             let cat = self.tmp("cat");
-            self.registry
-                .register(&cat, TableRole::State { rows: ((c + bc) * h * w) as u64 });
+            self.registry.register(&cat, TableRole::State { rows: ((c + bc) * h * w) as u64 });
             self.step(
                 format!("Dense{}", self.counts.misc),
                 StepKind::DenseConcat,
@@ -1010,9 +1021,6 @@ mod tests {
         // Model claims 2-channel input but first conv expects 1.
         let mut model = zoo::student(vec![1, 8, 8], 2, 3);
         model.input_shape = vec![2, 8, 8];
-        assert!(matches!(
-            compile_model(&db, &registry, &model),
-            Err(Error::Geometry(_))
-        ));
+        assert!(matches!(compile_model(&db, &registry, &model), Err(Error::Geometry(_))));
     }
 }

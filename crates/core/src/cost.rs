@@ -20,7 +20,9 @@
 
 use std::sync::Arc;
 
-use minidb::cost::{udf_cost_of_expr, CostContext, CostModel, DefaultCostModel, PlanCost};
+use minidb::cost::{
+    parallel_discount, udf_cost_of_expr, CostContext, CostModel, DefaultCostModel, PlanCost,
+};
 use minidb::plan::logical::LogicalPlan;
 
 use crate::registry::{NeuralRegistry, TableRole};
@@ -62,10 +64,14 @@ impl Dl2SqlCostModel {
         };
         let (l, r) = (self.scan_role(left), self.scan_role(right));
         match (l, r) {
-            (Some(TableRole::StagedFeatureMap { t_in, k_in }), Some(TableRole::Kernel { n_out, .. }))
-            | (Some(TableRole::Kernel { n_out, .. }), Some(TableRole::StagedFeatureMap { t_in, k_in })) => {
-                Some((t_in, k_in, n_out))
-            }
+            (
+                Some(TableRole::StagedFeatureMap { t_in, k_in }),
+                Some(TableRole::Kernel { n_out, .. }),
+            )
+            | (
+                Some(TableRole::Kernel { n_out, .. }),
+                Some(TableRole::StagedFeatureMap { t_in, k_in }),
+            ) => Some((t_in, k_in, n_out)),
             _ => None,
         }
     }
@@ -122,7 +128,9 @@ impl CostModel for Dl2SqlCostModel {
                     // group-by; C_join = T_in + T_out·k_in (Eq. 6), where
                     // T_out·k_in = T_in·N_out probe emissions.
                     let rows = (t_in * n_out) as f64;
-                    let cost = l.cost + r.cost + t_in as f64 + rows;
+                    // Probe + emission work spreads across morsels; the
+                    // (small) kernel-side build is inside the scan costs.
+                    let cost = l.cost + r.cost + (t_in as f64 + rows) * parallel_discount(ctx);
                     let _ = k_in;
                     return PlanCost { rows, cost };
                 }
@@ -132,7 +140,10 @@ impl CostModel for Dl2SqlCostModel {
                     // Paper: "approximately identical to scanning the
                     // output table" (the +T_out term of Eq. 7).
                     let rows = map_rows as f64;
-                    return PlanCost { rows, cost: l.cost + r.cost + rows * SEQ_WEIGHT };
+                    return PlanCost {
+                        rows,
+                        cost: l.cost + r.cost + rows * SEQ_WEIGHT * parallel_discount(ctx),
+                    };
                 }
                 // Broadcast join: a state table joined with a tiny
                 // per-channel table (normalization statistics, biases) —
@@ -140,13 +151,20 @@ impl CostModel for Dl2SqlCostModel {
                 let l = self.estimate(left, ctx);
                 let r = self.estimate(right, ctx);
                 let state_rows = match (self.scan_role(left), self.scan_role(right)) {
-                    (Some(TableRole::State { rows }), _) if r.rows * 4.0 <= rows as f64 => Some(rows),
-                    (_, Some(TableRole::State { rows })) if l.rows * 4.0 <= rows as f64 => Some(rows),
+                    (Some(TableRole::State { rows }), _) if r.rows * 4.0 <= rows as f64 => {
+                        Some(rows)
+                    }
+                    (_, Some(TableRole::State { rows })) if l.rows * 4.0 <= rows as f64 => {
+                        Some(rows)
+                    }
                     _ => None,
                 };
                 if let Some(rows) = state_rows {
                     let rows = rows as f64;
-                    return PlanCost { rows, cost: l.cost + r.cost + rows };
+                    return PlanCost {
+                        rows,
+                        cost: l.cost + r.cost + rows * parallel_discount(ctx),
+                    };
                 }
                 let mut sel = 1.0;
                 for (lk, rk) in keys {
@@ -156,7 +174,14 @@ impl CostModel for Dl2SqlCostModel {
                 if let Some(res) = residual {
                     rows *= self.fallback.predicate_selectivity(res, plan, ctx);
                 }
-                PlanCost { rows: rows.max(1.0), cost: l.cost + r.cost + l.rows + r.rows + rows }
+                // As in the default model: the build side stays serial, the
+                // probe + emission work spreads across morsels.
+                let build = l.rows.min(r.rows);
+                let own = l.rows + r.rows + rows;
+                PlanCost {
+                    rows: rows.max(1.0),
+                    cost: l.cost + r.cost + build + (own - build) * parallel_discount(ctx),
+                }
             }
 
             LogicalPlan::Aggregate { input, group, aggs, .. } => {
@@ -164,35 +189,40 @@ impl CostModel for Dl2SqlCostModel {
                 // Group-by over the conv join collapses by exactly k_in.
                 if let Some((_, k_in, _)) = self.conv_join_geometry(input) {
                     let rows = (child.rows / k_in as f64).max(1.0);
-                    return PlanCost { rows, cost: child.cost + rows };
+                    return PlanCost { rows, cost: child.cost + rows * parallel_discount(ctx) };
                 }
                 // Group-by over a state table by KernelID (normalization
                 // statistics): one row per channel — small; price as one
                 // pass over the input.
-                let rows = if group.is_empty() {
-                    1.0
-                } else {
-                    (child.rows * 0.1).max(1.0)
-                };
+                let rows = if group.is_empty() { 1.0 } else { (child.rows * 0.1).max(1.0) };
                 let udf: f64 = aggs
                     .iter()
                     .filter_map(|a| a.arg.as_ref())
                     .map(|e| udf_cost_of_expr(e, ctx))
                     .sum();
-                PlanCost { rows, cost: child.cost + child.rows * (1.0 + udf) }
+                PlanCost {
+                    rows,
+                    cost: child.cost + child.rows * (1.0 + udf) * parallel_discount(ctx),
+                }
             }
 
             LogicalPlan::Filter { input, predicate } => {
                 let child = self.estimate(input, ctx);
                 let sel = self.fallback.predicate_selectivity(predicate, input, ctx);
                 let per_row = SEQ_WEIGHT + udf_cost_of_expr(predicate, ctx);
-                PlanCost { rows: (child.rows * sel).max(0.0), cost: child.cost + child.rows * per_row }
+                PlanCost {
+                    rows: (child.rows * sel).max(0.0),
+                    cost: child.cost + child.rows * per_row * parallel_discount(ctx),
+                }
             }
             LogicalPlan::Project { input, exprs, .. } => {
                 let child = self.estimate(input, ctx);
                 let per_row: f64 =
                     SEQ_WEIGHT + exprs.iter().map(|e| udf_cost_of_expr(e, ctx)).sum::<f64>();
-                PlanCost { rows: child.rows, cost: child.cost + child.rows * per_row }
+                PlanCost {
+                    rows: child.rows,
+                    cost: child.cost + child.rows * per_row * parallel_discount(ctx),
+                }
             }
             LogicalPlan::Cross { left, right, .. } => {
                 if let Some(map_rows) = self.mapping_join_rows(plan) {
@@ -248,12 +278,7 @@ mod tests {
             db.execute(stmt).unwrap();
         }
         // The staged table name is inside the first statement.
-        let fm = compiled.steps[0]
-            .statements[0]
-            .split_whitespace()
-            .nth(3)
-            .unwrap()
-            .to_string();
+        let fm = compiled.steps[0].statements[0].split_whitespace().nth(3).unwrap().to_string();
         let kernel = compiled.persistent_tables[0].clone();
         let sql = format!(
             "SELECT B.KernelID, A.MatrixID, SUM(A.Value * B.Value) AS Value \
@@ -317,12 +342,9 @@ mod tests {
              WHERE A.TupleID = B.TupleID AND A.KernelID = B.KernelID AND B.OrderID = K.OrderID \
              GROUP BY K.KernelID, B.MatrixID";
         let actual = db.execute(two_layer).unwrap().table().num_rows() as f64;
-        let default_est = db
-            .estimate_with(two_layer, &DefaultCostModel::clickhouse_like())
-            .unwrap();
-        let custom_est = db
-            .estimate_with(two_layer, &Dl2SqlCostModel::new(registry))
-            .unwrap();
+        let default_est =
+            db.estimate_with(two_layer, &DefaultCostModel::clickhouse_like()).unwrap();
+        let custom_est = db.estimate_with(two_layer, &Dl2SqlCostModel::new(registry)).unwrap();
         assert!(
             default_est.rows > actual * 3.0,
             "default should over-estimate the chained layers: {} vs {actual}",

@@ -29,7 +29,10 @@ pub fn histogram_from_counts(counts: &[u64]) -> Vec<f64> {
 /// builds `H(c_i)` "during the offline training process"; with training
 /// out of scope, predictions over held-out samples are the equivalent
 /// estimator.
-pub fn histogram_from_model(model: &neuro::Model, samples: &[neuro::Tensor]) -> crate::Result<Vec<f64>> {
+pub fn histogram_from_model(
+    model: &neuro::Model,
+    samples: &[neuro::Tensor],
+) -> crate::Result<Vec<f64>> {
     let mut counts = vec![0u64; model.num_classes];
     for s in samples {
         let class = model.predict(s)?;
@@ -41,18 +44,14 @@ pub fn histogram_from_model(model: &neuro::Model, samples: &[neuro::Tensor]) -> 
 /// Pairs a class-name list with a histogram for
 /// [`minidb::ScalarUdf::with_class_probabilities`].
 pub fn labelled_histogram(labels: &[&str], probs: &[f64]) -> Vec<(Value, f64)> {
-    labels
-        .iter()
-        .zip(probs)
-        .map(|(l, p)| (Value::Utf8(l.to_string()), *p))
-        .collect()
+    labels.iter().zip(probs).map(|(l, p)| (Value::Utf8(l.to_string()), *p)).collect()
 }
 
 /// Configures `db` as **DL2SQL-OP**: customized cost model + all hint
 /// rules on.
 pub fn enable_op(db: &Database, registry: Arc<NeuralRegistry>) {
-    db.set_cost_model(Arc::new(Dl2SqlCostModel::new(registry)));
-    db.set_optimizer_config(OptimizerConfig {
+    db.swap_cost_model(Arc::new(Dl2SqlCostModel::new(registry)));
+    db.swap_optimizer_config(OptimizerConfig {
         reorder_joins: true,
         udf_placement_hints: true,
         symmetric_for_udf_joins: true,
@@ -62,8 +61,8 @@ pub fn enable_op(db: &Database, registry: Arc<NeuralRegistry>) {
 /// Configures `db` as plain **DL2SQL**: stock cost model, no hint rules
 /// (UDF predicates are evaluated at scan time).
 pub fn disable_op(db: &Database) {
-    db.set_cost_model(Arc::new(minidb::DefaultCostModel::default()));
-    db.set_optimizer_config(OptimizerConfig {
+    db.swap_cost_model(Arc::new(minidb::DefaultCostModel::default()));
+    db.swap_optimizer_config(OptimizerConfig {
         reorder_joins: true,
         udf_placement_hints: false,
         symmetric_for_udf_joins: false,
@@ -85,9 +84,8 @@ mod tests {
     #[test]
     fn histogram_from_model_counts_predictions() {
         let model = neuro::zoo::student(vec![1, 8, 8], 3, 5);
-        let samples: Vec<neuro::Tensor> = (0..20)
-            .map(|i| neuro::Tensor::full(vec![1, 8, 8], (i as f32 - 10.0) / 5.0))
-            .collect();
+        let samples: Vec<neuro::Tensor> =
+            (0..20).map(|i| neuro::Tensor::full(vec![1, 8, 8], (i as f32 - 10.0) / 5.0)).collect();
         let h = histogram_from_model(&model, &samples).unwrap();
         assert_eq!(h.len(), 3);
         assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -39,11 +39,8 @@ pub fn compare_strategies(
     input: &Tensor,
     repetitions: usize,
 ) -> Result<PreJoinComparison> {
-    let strategies = [
-        PreJoinStrategy::None,
-        PreJoinStrategy::FuseMapping,
-        PreJoinStrategy::PreJoinKernel,
-    ];
+    let strategies =
+        [PreJoinStrategy::None, PreJoinStrategy::FuseMapping, PreJoinStrategy::PreJoinKernel];
     let mut per_block = Vec::new();
     let mut totals = Vec::new();
     let mut predictions = Vec::new();
@@ -117,9 +114,11 @@ mod tests {
         let db = Database::new();
         let registry = NeuralRegistry::new();
         let model = zoo::student(vec![1, 8, 8], 2, 5);
-        let plain = compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::None).unwrap();
+        let plain =
+            compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::None).unwrap();
         let fused =
-            compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::FuseMapping).unwrap();
+            compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::FuseMapping)
+                .unwrap();
         assert!(fused.steps.len() < plain.steps.len(), "fusing removes the Reshape steps");
         assert!(plain.steps.iter().any(|s| s.label.starts_with("Reshape")));
         assert!(!fused.steps.iter().any(|s| s.label.starts_with("Reshape")));
@@ -130,9 +129,11 @@ mod tests {
         let db = Database::new();
         let registry = NeuralRegistry::new();
         let model = zoo::student(vec![1, 8, 8], 2, 5);
-        let plain = compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::None).unwrap();
+        let plain =
+            compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::None).unwrap();
         let pre =
-            compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::PreJoinKernel).unwrap();
+            compile_model_with_strategy(&db, &registry, &model, PreJoinStrategy::PreJoinKernel)
+                .unwrap();
         assert!(
             pre.storage_bytes(&db) > plain.storage_bytes(&db),
             "pre-joined tables replicate weights per output channel"

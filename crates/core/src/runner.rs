@@ -60,7 +60,9 @@ impl Runner {
         let parsed_steps = compiled
             .steps
             .iter()
-            .map(|s| s.statements.iter().map(|sql| Ok(parse_statement(sql)?)).collect::<Result<Vec<_>>>())
+            .map(|s| {
+                s.statements.iter().map(|sql| Ok(parse_statement(sql)?)).collect::<Result<Vec<_>>>()
+            })
             .collect::<Result<Vec<_>>>()?;
         let predict_stmt = parse_statement(&compiled.predict_sql)?;
         Ok(Runner { db, registry, compiled, parsed_steps, predict_stmt })
@@ -108,11 +110,9 @@ impl Runner {
         let inference_time = infer_start.elapsed();
 
         // Probabilities, ordered by class id.
-        let out = self
-            .db
-            .catalog()
-            .table(&self.compiled.output_table)
-            .ok_or_else(|| Error::Db(minidb::Error::NotFound(self.compiled.output_table.clone())))?;
+        let out = self.db.catalog().table(&self.compiled.output_table).ok_or_else(|| {
+            Error::Db(minidb::Error::NotFound(self.compiled.output_table.clone()))
+        })?;
         let mut probabilities = vec![0.0f64; self.compiled.num_classes];
         let ks = out.column_by_name("KernelID")?;
         let vs = out.column_by_name("Value")?;
@@ -155,9 +155,7 @@ mod tests {
 
     fn deterministic_input(shape: &[usize], seed: f32) -> Tensor {
         let n: usize = shape.iter().product();
-        let data: Vec<f32> = (0..n)
-            .map(|i| ((i as f32 * 0.7 + seed) % 3.0) - 1.5)
-            .collect();
+        let data: Vec<f32> = (0..n).map(|i| ((i as f32 * 0.7 + seed) % 3.0) - 1.5).collect();
         Tensor::new(shape.to_vec(), data).unwrap()
     }
 

@@ -317,7 +317,12 @@ pub fn deconv_kernel_rows(weight: &Tensor) -> Result<(Vec<i64>, Vec<i64>, Vec<f6
 
 /// Pooling mapping rows (channel-agnostic): output position → input
 /// position, for every window element.
-pub fn pool_mapping_rows(in_h: usize, in_w: usize, k: usize, stride: usize) -> Result<(Vec<i64>, Vec<i64>)> {
+pub fn pool_mapping_rows(
+    in_h: usize,
+    in_w: usize,
+    k: usize,
+    stride: usize,
+) -> Result<(Vec<i64>, Vec<i64>)> {
     let out_h = conv_output_dim(in_h, k, stride, 0)?;
     let out_w = conv_output_dim(in_w, k, stride, 0)?;
     let mut matrix_id = Vec::new();
@@ -662,10 +667,7 @@ mod tests {
     fn compressed_estimate_is_below_raw() {
         let table = Table::new(
             Schema::new(vec![int_field("a"), float_field("b")]),
-            vec![
-                Column::Int64((0..1000).collect()),
-                Column::Float64(vec![1.5; 1000]),
-            ],
+            vec![Column::Int64((0..1000).collect()), Column::Float64(vec![1.5; 1000])],
         )
         .unwrap();
         let compressed = compressed_size_estimate(&table);

@@ -159,11 +159,8 @@ mod tests {
     use crate::value::DataType;
 
     fn t(rows: Vec<i64>) -> Table {
-        Table::new(
-            Schema::new(vec![Field::new("id", DataType::Int64)]),
-            vec![Column::Int64(rows)],
-        )
-        .unwrap()
+        Table::new(Schema::new(vec![Field::new("id", DataType::Int64)]), vec![Column::Int64(rows)])
+            .unwrap()
     }
 
     #[test]

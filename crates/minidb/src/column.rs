@@ -141,11 +141,7 @@ impl Column {
     pub fn filter(&self, mask: &[bool]) -> Column {
         debug_assert_eq!(mask.len(), self.len());
         fn pick<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
-            v.iter()
-                .zip(mask.iter())
-                .filter(|(_, keep)| **keep)
-                .map(|(x, _)| x.clone())
-                .collect()
+            v.iter().zip(mask.iter()).filter(|(_, keep)| **keep).map(|(x, _)| x.clone()).collect()
         }
         match self {
             Column::Int64(v) => Column::Int64(pick(v, mask)),
@@ -169,6 +165,18 @@ impl Column {
             Column::Utf8(v) => Column::Utf8(gather(v, indices)),
             Column::Date(v) => Column::Date(gather(v, indices)),
             Column::Blob(v) => Column::Blob(gather(v, indices)),
+        }
+    }
+
+    /// A contiguous row range (a morsel of the column).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Column {
+        match self {
+            Column::Int64(v) => Column::Int64(v[range].to_vec()),
+            Column::Float64(v) => Column::Float64(v[range].to_vec()),
+            Column::Bool(v) => Column::Bool(v[range].to_vec()),
+            Column::Utf8(v) => Column::Utf8(v[range].to_vec()),
+            Column::Date(v) => Column::Date(v[range].to_vec()),
+            Column::Blob(v) => Column::Blob(v[range].to_vec()),
         }
     }
 

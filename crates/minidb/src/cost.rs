@@ -33,6 +33,21 @@ pub struct CostContext<'a> {
     pub catalog: &'a Catalog,
     pub udfs: &'a UdfRegistry,
     pub stats: &'a StatsCache,
+    /// Executor parallelism the plan will run under (the
+    /// `ExecConfig::parallelism` knob). `1` means serial execution and
+    /// leaves every estimate untouched.
+    pub parallelism: usize,
+}
+
+/// Cost multiplier for the morsel-parallel portion of an operator's work.
+///
+/// Amdahl-style with an 85% per-worker efficiency factor (morsel slicing
+/// and result concatenation grow with the worker count), so the optimizer
+/// never assumes perfect scaling. Exactly `1.0` at `parallelism == 1`,
+/// keeping serial plan choices — including DL2SQL-OP's — bit-identical.
+pub fn parallel_discount(ctx: &CostContext<'_>) -> f64 {
+    let p = ctx.parallelism.max(1) as f64;
+    1.0 / (1.0 + 0.85 * (p - 1.0))
 }
 
 /// A pluggable cost/cardinality model.
@@ -98,10 +113,8 @@ impl CostModel for DefaultCostModel {
     fn estimate(&self, plan: &LogicalPlan, ctx: &CostContext<'_>) -> PlanCost {
         match plan {
             LogicalPlan::Scan { table, .. } => {
-                let rows = ctx
-                    .stats
-                    .stats_for(ctx.catalog, table)
-                    .map_or(1000.0, |s| s.rows as f64);
+                let rows =
+                    ctx.stats.stats_for(ctx.catalog, table).map_or(1000.0, |s| s.rows as f64);
                 PlanCost { rows, cost: rows }
             }
             LogicalPlan::Values { table } => {
@@ -111,7 +124,8 @@ impl CostModel for DefaultCostModel {
             LogicalPlan::MultiJoin { inputs, predicates, .. } => {
                 // Un-lowered n-way join: product cardinality damped by the
                 // predicate pool. Only used before lowering.
-                let children: Vec<PlanCost> = inputs.iter().map(|i| self.estimate(i, ctx)).collect();
+                let children: Vec<PlanCost> =
+                    inputs.iter().map(|i| self.estimate(i, ctx)).collect();
                 let mut rows: f64 = children.iter().map(|c| c.rows).product();
                 for p in predicates {
                     rows *= self.predicate_selectivity(p, plan, ctx);
@@ -125,13 +139,17 @@ impl CostModel for DefaultCostModel {
                 let per_row = 1.0 + udf_cost_of_expr(predicate, ctx);
                 PlanCost {
                     rows: (child.rows * sel).max(0.0),
-                    cost: child.cost + child.rows * per_row,
+                    cost: child.cost + child.rows * per_row * parallel_discount(ctx),
                 }
             }
             LogicalPlan::Project { input, exprs, .. } => {
                 let child = self.estimate(input, ctx);
-                let per_row: f64 = 1.0 + exprs.iter().map(|e| udf_cost_of_expr(e, ctx)).sum::<f64>();
-                PlanCost { rows: child.rows, cost: child.cost + child.rows * per_row }
+                let per_row: f64 =
+                    1.0 + exprs.iter().map(|e| udf_cost_of_expr(e, ctx)).sum::<f64>();
+                PlanCost {
+                    rows: child.rows,
+                    cost: child.cost + child.rows * per_row * parallel_discount(ctx),
+                }
             }
             LogicalPlan::Join { left, right, keys, residual, .. } => {
                 let l = self.estimate(left, ctx);
@@ -147,9 +165,18 @@ impl CostModel for DefaultCostModel {
                 let rows = rows.max(1.0);
                 let udf_keys: f64 = keys
                     .iter()
-                    .map(|(lk, rk)| l.rows * udf_cost_of_expr(lk, ctx) + r.rows * udf_cost_of_expr(rk, ctx))
+                    .map(|(lk, rk)| {
+                        l.rows * udf_cost_of_expr(lk, ctx) + r.rows * udf_cost_of_expr(rk, ctx)
+                    })
                     .sum();
-                PlanCost { rows, cost: l.cost + r.cost + l.rows + r.rows + rows + udf_keys }
+                // The hash-table build stays serial; the probe (and its key
+                // evaluation) runs morsel-parallel.
+                let build = l.rows.min(r.rows);
+                let own = l.rows + r.rows + rows + udf_keys;
+                PlanCost {
+                    rows,
+                    cost: l.cost + r.cost + build + (own - build) * parallel_discount(ctx),
+                }
             }
             LogicalPlan::Cross { left, right, .. } => {
                 let l = self.estimate(left, ctx);
@@ -186,7 +213,10 @@ impl CostModel for DefaultCostModel {
                     .filter_map(|a| a.arg.as_ref())
                     .map(|e| udf_cost_of_expr(e, ctx))
                     .sum();
-                PlanCost { rows, cost: child.cost + child.rows * (1.0 + udf) }
+                PlanCost {
+                    rows,
+                    cost: child.cost + child.rows * (1.0 + udf) * parallel_discount(ctx),
+                }
             }
             LogicalPlan::Sort { input, .. } => {
                 let child = self.estimate(input, ctx);
@@ -298,7 +328,12 @@ impl DefaultCostModel {
         }
     }
 
-    fn expr_ndv(&self, expr: &BoundExpr, input: &LogicalPlan, ctx: &CostContext<'_>) -> Option<f64> {
+    fn expr_ndv(
+        &self,
+        expr: &BoundExpr,
+        input: &LogicalPlan,
+        ctx: &CostContext<'_>,
+    ) -> Option<f64> {
         if let BoundExpr::Column(i) = expr {
             self.column_ndv(input, *i, ctx)
         } else {
@@ -408,13 +443,16 @@ mod tests {
     }
 
     fn scan(catalog: &Catalog, name: &str) -> LogicalPlan {
-        LogicalPlan::Scan { table: name.into(), schema: catalog.table(name).unwrap().schema().clone() }
+        LogicalPlan::Scan {
+            table: name.into(),
+            schema: catalog.table(name).unwrap().schema().clone(),
+        }
     }
 
     #[test]
     fn scan_rows_come_from_stats() {
         let (catalog, udfs, stats) = setup();
-        let ctx = CostContext { catalog: &catalog, udfs: &udfs, stats: &stats };
+        let ctx = CostContext { catalog: &catalog, udfs: &udfs, stats: &stats, parallelism: 1 };
         let m = DefaultCostModel::default();
         let est = m.estimate(&scan(&catalog, "t"), &ctx);
         assert_eq!(est.rows, 100.0);
@@ -423,7 +461,7 @@ mod tests {
     #[test]
     fn equality_filter_uses_ndv() {
         let (catalog, udfs, stats) = setup();
-        let ctx = CostContext { catalog: &catalog, udfs: &udfs, stats: &stats };
+        let ctx = CostContext { catalog: &catalog, udfs: &udfs, stats: &stats, parallelism: 1 };
         let m = DefaultCostModel::default();
         let plan = LogicalPlan::Filter {
             input: Box::new(scan(&catalog, "t")),
@@ -441,17 +479,12 @@ mod tests {
     #[test]
     fn join_selectivity_uses_max_ndv() {
         let (catalog, udfs, stats) = setup();
-        let ctx = CostContext { catalog: &catalog, udfs: &udfs, stats: &stats };
+        let ctx = CostContext { catalog: &catalog, udfs: &udfs, stats: &stats, parallelism: 1 };
         let m = DefaultCostModel::default();
         let left = scan(&catalog, "t");
         let right = scan(&catalog, "t");
         let schema = Schema::new(
-            left.schema()
-                .fields()
-                .iter()
-                .chain(right.schema().fields())
-                .cloned()
-                .collect(),
+            left.schema().fields().iter().chain(right.schema().fields()).cloned().collect(),
         );
         let plan = LogicalPlan::Join {
             left: Box::new(left),
@@ -477,9 +510,12 @@ mod tests {
             .with_cost(500.0)
             .with_class_probabilities(vec![(Value::Utf8("a".into()), 0.02)]),
         );
-        let ctx = CostContext { catalog: &catalog, udfs: &udfs, stats: &stats };
+        let ctx = CostContext { catalog: &catalog, udfs: &udfs, stats: &stats, parallelism: 1 };
         let pred = BoundExpr::Binary {
-            left: Box::new(BoundExpr::Udf { name: "classify".into(), args: vec![BoundExpr::Column(1)] }),
+            left: Box::new(BoundExpr::Udf {
+                name: "classify".into(),
+                args: vec![BoundExpr::Column(1)],
+            }),
             op: BinOp::Eq,
             right: Box::new(BoundExpr::Literal(Value::Utf8("a".into()))),
         };
@@ -495,7 +531,7 @@ mod tests {
     #[test]
     fn aggregate_groups_capped_by_input() {
         let (catalog, udfs, stats) = setup();
-        let ctx = CostContext { catalog: &catalog, udfs: &udfs, stats: &stats };
+        let ctx = CostContext { catalog: &catalog, udfs: &udfs, stats: &stats, parallelism: 1 };
         let m = DefaultCostModel::default();
         let plan = LogicalPlan::Aggregate {
             input: Box::new(scan(&catalog, "t")),

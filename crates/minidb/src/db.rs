@@ -25,9 +25,15 @@ use crate::udf::{ScalarUdf, UdfRegistry};
 pub struct QueryResult {
     table: Table,
     rows_affected: usize,
+    elapsed: std::time::Duration,
+    rows_scanned: u64,
 }
 
 impl QueryResult {
+    fn of(table: Table, rows_affected: usize) -> Self {
+        QueryResult { table, rows_affected, elapsed: std::time::Duration::ZERO, rows_scanned: 0 }
+    }
+
     /// The result table (empty for DML/DDL statements).
     pub fn table(&self) -> &Table {
         &self.table
@@ -41,6 +47,39 @@ impl QueryResult {
     /// Rows returned (SELECT) or modified (DML).
     pub fn rows_affected(&self) -> usize {
         self.rows_affected
+    }
+
+    /// Output column names, in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.table.schema().fields().iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Output column types, in order.
+    pub fn column_types(&self) -> Vec<crate::value::DataType> {
+        self.table.schema().fields().iter().map(|f| f.data_type).collect()
+    }
+
+    /// Wall-clock time the statement took (parse excluded for prepared
+    /// queries, included for `Database::execute`).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.elapsed
+    }
+
+    /// Base-table rows read by Scan operators while this statement ran.
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned
+    }
+
+    /// A one-line human summary ("3 rows in 1.24 ms, 12 rows scanned").
+    pub fn summary(&self) -> String {
+        format!(
+            "{} row{} in {:.2} ms, {} row{} scanned",
+            self.rows_affected,
+            if self.rows_affected == 1 { "" } else { "s" },
+            self.elapsed.as_secs_f64() * 1e3,
+            self.rows_scanned,
+            if self.rows_scanned == 1 { "" } else { "s" },
+        )
     }
 }
 
@@ -61,18 +100,79 @@ impl Default for Database {
     }
 }
 
-impl Database {
-    /// A fresh database with the default cost model and optimizer config.
-    pub fn new() -> Self {
+/// Construction-time configuration for a [`Database`].
+///
+/// ```
+/// use minidb::Database;
+/// let db = Database::builder().parallelism(4).build();
+/// # let _ = db;
+/// ```
+pub struct DatabaseBuilder {
+    exec_config: ExecConfig,
+    optimizer_config: OptimizerConfig,
+    cost_model: Arc<dyn CostModel>,
+}
+
+impl Default for DatabaseBuilder {
+    fn default() -> Self {
+        DatabaseBuilder {
+            exec_config: ExecConfig::default(),
+            optimizer_config: OptimizerConfig::default(),
+            cost_model: Arc::new(DefaultCostModel::default()),
+        }
+    }
+}
+
+impl DatabaseBuilder {
+    /// Replaces the executor configuration wholesale.
+    pub fn exec_config(mut self, config: ExecConfig) -> Self {
+        self.exec_config = config;
+        self
+    }
+
+    /// Replaces the optimizer configuration.
+    pub fn optimizer_config(mut self, config: OptimizerConfig) -> Self {
+        self.optimizer_config = config;
+        self
+    }
+
+    /// Installs a cost model.
+    pub fn cost_model(mut self, model: Arc<dyn CostModel>) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Worker threads for morsel-parallel operators (`1` = serial
+    /// reference path). Clamped to at least 1.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.exec_config.parallelism = workers.max(1);
+        self
+    }
+
+    /// Builds the database.
+    pub fn build(self) -> Database {
         Database {
             catalog: Catalog::new(),
             udfs: UdfRegistry::new(),
             profiler: Profiler::new(),
             stats: StatsCache::new(),
-            exec_config: RwLock::new(ExecConfig::default()),
-            optimizer_config: RwLock::new(OptimizerConfig::default()),
-            cost_model: RwLock::new(Arc::new(DefaultCostModel::default())),
+            exec_config: RwLock::new(self.exec_config),
+            optimizer_config: RwLock::new(self.optimizer_config),
+            cost_model: RwLock::new(self.cost_model),
         }
+    }
+}
+
+impl Database {
+    /// A fresh database with the default cost model and optimizer config.
+    pub fn new() -> Self {
+        Database::builder().build()
+    }
+
+    /// Starts configuring a database (executor, optimizer, cost model,
+    /// parallelism).
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder::default()
     }
 
     /// The catalog (to create tables programmatically).
@@ -95,10 +195,11 @@ impl Database {
         &self.profiler
     }
 
-    /// Installs a cost model (the DL2SQL crate installs the paper's
-    /// customized model here).
-    pub fn set_cost_model(&self, model: Arc<dyn CostModel>) {
-        *self.cost_model.write() = model;
+    /// Replaces the cost model mid-session, returning the previous one.
+    /// The DL2SQL hint rules install and uninstall the paper's customized
+    /// model around individual queries through this.
+    pub fn swap_cost_model(&self, model: Arc<dyn CostModel>) -> Arc<dyn CostModel> {
+        std::mem::replace(&mut *self.cost_model.write(), model)
     }
 
     /// The currently-installed cost model.
@@ -106,9 +207,10 @@ impl Database {
         self.cost_model.read().clone()
     }
 
-    /// Replaces the optimizer configuration.
-    pub fn set_optimizer_config(&self, config: OptimizerConfig) {
-        *self.optimizer_config.write() = config;
+    /// Replaces the optimizer configuration mid-session, returning the
+    /// previous one.
+    pub fn swap_optimizer_config(&self, config: OptimizerConfig) -> OptimizerConfig {
+        std::mem::replace(&mut *self.optimizer_config.write(), config)
     }
 
     /// The current optimizer configuration.
@@ -116,9 +218,41 @@ impl Database {
         self.optimizer_config.read().clone()
     }
 
-    /// Replaces the executor configuration.
+    /// Replaces the executor configuration mid-session, returning the
+    /// previous one.
+    pub fn swap_exec_config(&self, config: ExecConfig) -> ExecConfig {
+        std::mem::replace(&mut *self.exec_config.write(), config)
+    }
+
+    /// The current executor configuration.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec_config.read().clone()
+    }
+
+    #[deprecated(
+        note = "configure through Database::builder(); use swap_cost_model for mid-session changes"
+    )]
+    /// Installs a cost model. Deprecated shim over [`Database::swap_cost_model`].
+    pub fn set_cost_model(&self, model: Arc<dyn CostModel>) {
+        self.swap_cost_model(model);
+    }
+
+    #[deprecated(
+        note = "configure through Database::builder(); use swap_optimizer_config for mid-session changes"
+    )]
+    /// Replaces the optimizer configuration. Deprecated shim over
+    /// [`Database::swap_optimizer_config`].
+    pub fn set_optimizer_config(&self, config: OptimizerConfig) {
+        self.swap_optimizer_config(config);
+    }
+
+    #[deprecated(
+        note = "configure through Database::builder(); use swap_exec_config for mid-session changes"
+    )]
+    /// Replaces the executor configuration. Deprecated shim over
+    /// [`Database::swap_exec_config`].
     pub fn set_exec_config(&self, config: ExecConfig) {
-        *self.exec_config.write() = config;
+        self.swap_exec_config(config);
     }
 
     // ------------------------------------------------------------------
@@ -134,24 +268,35 @@ impl Database {
     /// Executes a semicolon-separated script, returning the last result.
     pub fn execute_script(&self, sql: &str) -> Result<QueryResult> {
         let stmts = parser::parse_statements(sql)?;
-        let mut last = QueryResult { table: Table::empty(Schema::default()), rows_affected: 0 };
+        let mut last = QueryResult::of(Table::empty(Schema::default()), 0);
         for s in &stmts {
             last = self.execute_statement(s)?;
         }
         Ok(last)
     }
 
-    /// Executes a parsed statement.
+    /// Executes a parsed statement, stamping the result with its wall time
+    /// and the number of base-table rows its Scan operators read.
     pub fn execute_statement(&self, stmt: &Statement) -> Result<QueryResult> {
+        let scanned_before = self.profiler.rows_out(OperatorKind::Scan);
+        let start = std::time::Instant::now();
+        let mut result = self.execute_statement_inner(stmt)?;
+        result.elapsed = start.elapsed();
+        result.rows_scanned =
+            self.profiler.rows_out(OperatorKind::Scan).saturating_sub(scanned_before);
+        Ok(result)
+    }
+
+    fn execute_statement_inner(&self, stmt: &Statement) -> Result<QueryResult> {
         match stmt {
             Statement::Query(q) => {
                 let table = self.run_query(q)?;
                 let rows = table.num_rows();
-                Ok(QueryResult { table, rows_affected: rows })
+                Ok(QueryResult::of(table, rows))
             }
             Statement::CreateTable { name, if_not_exists, columns, as_query, .. } => {
                 if *if_not_exists && self.catalog.table(name).is_some() {
-                    return Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: 0 });
+                    return Ok(QueryResult::of(Table::empty(Schema::default()), 0));
                 }
                 // The inner query's operators record themselves; the
                 // CreateTable entry covers only the materialization.
@@ -170,13 +315,13 @@ impl Database {
                 // DL2SQL-generated scripts: allow replacement.
                 self.catalog.create_table(name, table, true)?;
                 self.profiler.record(OperatorKind::CreateTable, start.elapsed(), rows);
-                Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: rows })
+                Ok(QueryResult::of(Table::empty(Schema::default()), rows))
             }
             Statement::CreateView { name, query } => {
                 // Validate the definition by planning it once.
                 let _plan = self.plan_query(query)?;
                 self.catalog.create_view(name, query.clone(), true)?;
-                Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: 0 })
+                Ok(QueryResult::of(Table::empty(Schema::default()), 0))
             }
             Statement::Insert { table, rows } => self.run_insert(table, rows),
             Statement::InsertSelect { table, query } => {
@@ -200,14 +345,14 @@ impl Database {
                 let affected = incoming.num_rows();
                 self.catalog.replace_table(table, new_table)?;
                 self.profiler.record(OperatorKind::Insert, start.elapsed(), affected);
-                Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: affected })
+                Ok(QueryResult::of(Table::empty(Schema::default()), affected))
             }
             Statement::Update { table, assignments, predicate } => {
                 self.run_update(table, assignments, predicate.as_ref())
             }
             Statement::CreateIndex { table, column } => {
                 self.catalog.create_index(table, column)?;
-                Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: 0 })
+                Ok(QueryResult::of(Table::empty(Schema::default()), 0))
             }
             Statement::Explain(q) => {
                 let text = self.explain_plan_with_costs(&self.plan_query(q)?);
@@ -220,19 +365,33 @@ impl Database {
                     vec![col],
                 )?;
                 let rows = table.num_rows();
-                Ok(QueryResult { table, rows_affected: rows })
+                Ok(QueryResult::of(table, rows))
             }
             Statement::Drop { kind, name, if_exists } => {
                 let dropped = match kind {
                     ObjectKind::Table => self.catalog.drop_table(name, *if_exists)?,
                     ObjectKind::View => self.catalog.drop_view(name, *if_exists)?,
                 };
-                Ok(QueryResult {
-                    table: Table::empty(Schema::default()),
-                    rows_affected: dropped as usize,
-                })
+                Ok(QueryResult::of(Table::empty(Schema::default()), dropped as usize))
             }
         }
+    }
+
+    /// Parses and plans a SELECT once, for repeated execution through
+    /// [`PreparedQuery::run`]. The plan is bound to this database; table
+    /// *contents* are re-read from the catalog on every run, so prepared
+    /// queries observe later INSERTs/UPDATEs.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery<'_>> {
+        let stmt = parser::parse_statement(sql)?;
+        let Statement::Query(q) = stmt else {
+            return Err(Error::Plan("prepare supports SELECT statements".into()));
+        };
+        self.prepare_query(&q)
+    }
+
+    /// Plans an already-parsed SELECT for repeated execution.
+    pub fn prepare_query(&self, q: &Query) -> Result<PreparedQuery<'_>> {
+        Ok(PreparedQuery { db: self, plan: self.plan_query(q)? })
     }
 
     /// Plans, optimizes and executes a SELECT.
@@ -241,13 +400,22 @@ impl Database {
         self.execute_plan(&plan)
     }
 
+    fn cost_ctx(&self) -> CostContext<'_> {
+        CostContext {
+            catalog: &self.catalog,
+            udfs: &self.udfs,
+            stats: &self.stats,
+            parallelism: self.exec_config.read().parallelism,
+        }
+    }
+
     /// Plans and optimizes a SELECT without executing it.
     pub fn plan_query(&self, q: &Query) -> Result<LogicalPlan> {
         let runner = |sub: &Query| self.run_query(sub);
         let planner = Planner::new(&self.catalog, &self.udfs, Some(&runner));
         let plan = planner.plan_query(q)?;
         let optimizer = Optimizer::new(self.optimizer_config(), self.cost_model());
-        let ctx = CostContext { catalog: &self.catalog, udfs: &self.udfs, stats: &self.stats };
+        let ctx = self.cost_ctx();
         let plan = optimizer.optimize(plan, &ctx)?;
         let plan = crate::optimizer::fold_plan_constants(plan, &self.udfs);
         Ok(crate::optimizer::prune_columns(plan))
@@ -278,7 +446,7 @@ impl Database {
     /// cost model.
     fn explain_plan_with_costs(&self, plan: &LogicalPlan) -> String {
         let model = self.cost_model();
-        let ctx = CostContext { catalog: &self.catalog, udfs: &self.udfs, stats: &self.stats };
+        let ctx = self.cost_ctx();
         fn walk(
             plan: &LogicalPlan,
             depth: usize,
@@ -288,15 +456,13 @@ impl Database {
         ) {
             let est = model.estimate(plan, ctx);
             // Reuse the single-line rendering of display_indent.
-            let line = plan
-                .display_indent()
-                .lines()
-                .next()
-                .unwrap_or_default()
-                .to_string();
+            let line = plan.display_indent().lines().next().unwrap_or_default().to_string();
             out.push_str(&"  ".repeat(depth));
-            out.push_str(&format!("{line}  [rows≈{:.0}, cost≈{:.0}]
-", est.rows, est.cost));
+            out.push_str(&format!(
+                "{line}  [rows≈{:.0}, cost≈{:.0}]
+",
+                est.rows, est.cost
+            ));
             for c in plan.children() {
                 walk(c, depth + 1, model, ctx, out);
             }
@@ -319,7 +485,7 @@ impl Database {
             return Err(Error::Plan("cost estimation supports SELECT statements".into()));
         };
         let plan = self.plan_query(&q)?;
-        let ctx = CostContext { catalog: &self.catalog, udfs: &self.udfs, stats: &self.stats };
+        let ctx = self.cost_ctx();
         Ok(model.estimate(&plan, &ctx))
     }
 
@@ -327,7 +493,11 @@ impl Database {
     // DML
     // ------------------------------------------------------------------
 
-    fn run_insert(&self, table_name: &str, rows: &[Vec<crate::sql::ast::Expr>]) -> Result<QueryResult> {
+    fn run_insert(
+        &self,
+        table_name: &str,
+        rows: &[Vec<crate::sql::ast::Expr>],
+    ) -> Result<QueryResult> {
         let start = std::time::Instant::now();
         let current = self
             .catalog
@@ -355,7 +525,7 @@ impl Database {
         let affected = rows.len();
         self.catalog.replace_table(table_name, new_table)?;
         self.profiler.record(OperatorKind::Insert, start.elapsed(), affected);
-        Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: affected })
+        Ok(QueryResult::of(Table::empty(Schema::default()), affected))
     }
 
     fn run_update(
@@ -399,7 +569,39 @@ impl Database {
         }
         self.catalog.replace_table(table_name, new_table)?;
         self.profiler.record(OperatorKind::Update, start.elapsed(), affected);
-        Ok(QueryResult { table: Table::empty(Schema::default()), rows_affected: affected })
+        Ok(QueryResult::of(Table::empty(Schema::default()), affected))
+    }
+}
+
+/// A SELECT parsed, planned and optimized once, executable many times.
+///
+/// Obtained from [`Database::prepare`] / [`Database::prepare_query`]. Each
+/// [`run`](PreparedQuery::run) re-reads table contents from the catalog, so
+/// data changes between runs are observed; the *plan* (join order,
+/// algorithm choice) is frozen at prepare time.
+pub struct PreparedQuery<'a> {
+    db: &'a Database,
+    plan: LogicalPlan,
+}
+
+impl PreparedQuery<'_> {
+    /// The frozen optimized plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// Executes the prepared plan, stamping timing metadata like
+    /// [`Database::execute_statement`] (without the parse/plan cost).
+    pub fn run(&self) -> Result<QueryResult> {
+        let scanned_before = self.db.profiler.rows_out(OperatorKind::Scan);
+        let start = std::time::Instant::now();
+        let table = self.db.execute_plan(&self.plan)?;
+        let rows = table.num_rows();
+        let mut result = QueryResult::of(table, rows);
+        result.elapsed = start.elapsed();
+        result.rows_scanned =
+            self.db.profiler.rows_out(OperatorKind::Scan).saturating_sub(scanned_before);
+        Ok(result)
     }
 }
 
@@ -512,12 +714,14 @@ mod tests {
     #[test]
     fn views_are_inlined() {
         let db = db_with_data();
-        db.execute("CREATE VIEW heavy AS SELECT transID, meter FROM fabric WHERE meter > 4.0").unwrap();
+        db.execute("CREATE VIEW heavy AS SELECT transID, meter FROM fabric WHERE meter > 4.0")
+            .unwrap();
         let out = db.execute("SELECT count(*) FROM heavy").unwrap();
         assert_eq!(out.table().column(0).i64_at(0), 2);
         // Dropping and re-creating with different predicate changes results.
         db.execute("DROP VIEW heavy").unwrap();
-        db.execute("CREATE VIEW heavy AS SELECT transID, meter FROM fabric WHERE meter > 2.0").unwrap();
+        db.execute("CREATE VIEW heavy AS SELECT transID, meter FROM fabric WHERE meter > 2.0")
+            .unwrap();
         let out = db.execute("SELECT count(*) FROM heavy").unwrap();
         assert_eq!(out.table().column(0).i64_at(0), 4);
     }
@@ -525,12 +729,9 @@ mod tests {
     #[test]
     fn udf_in_predicate_end_to_end() {
         let db = db_with_data();
-        db.register_udf(ScalarUdf::new(
-            "is_even",
-            vec![DataType::Int64],
-            DataType::Bool,
-            |args| Ok(Value::Bool(args[0].as_i64()? % 2 == 0)),
-        ));
+        db.register_udf(ScalarUdf::new("is_even", vec![DataType::Int64], DataType::Bool, |args| {
+            Ok(Value::Bool(args[0].as_i64()? % 2 == 0))
+        }));
         let out = db.execute("SELECT transID FROM fabric WHERE is_even(transID) = TRUE").unwrap();
         assert_eq!(out.table().num_rows(), 2);
     }
@@ -560,9 +761,7 @@ mod tests {
     #[test]
     fn limit_and_order() {
         let db = db_with_data();
-        let out = db
-            .execute("SELECT transID FROM fabric ORDER BY meter DESC LIMIT 2")
-            .unwrap();
+        let out = db.execute("SELECT transID FROM fabric ORDER BY meter DESC LIMIT 2").unwrap();
         assert_eq!(out.table().num_rows(), 2);
         assert_eq!(out.table().column(0).i64_at(0), 2); // meter 7.5
     }
@@ -603,7 +802,9 @@ mod tests {
         ));
         // More than one column.
         assert!(matches!(
-            db.execute("SELECT meter - (SELECT meter, transID FROM fabric LIMIT 1) AS d FROM fabric"),
+            db.execute(
+                "SELECT meter - (SELECT meter, transID FROM fabric LIMIT 1) AS d FROM fabric"
+            ),
             Err(Error::Subquery(_))
         ));
     }

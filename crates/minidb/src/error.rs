@@ -27,7 +27,9 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Parse { message, offset } => write!(f, "parse error at byte {offset}: {message}"),
+            Error::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
             Error::NotFound(what) => write!(f, "not found: {what}"),
             Error::AlreadyExists(what) => write!(f, "already exists: {what}"),
             Error::Type(msg) => write!(f, "type error: {msg}"),

@@ -5,6 +5,7 @@
 //! session [`Profiler`] — the data behind the paper's Fig. 10 clause
 //! breakdown.
 
+pub mod parallel;
 pub mod symmetric;
 
 use std::collections::HashMap;
@@ -28,11 +29,25 @@ pub struct ExecConfig {
     /// In-memory bucket budget of the symmetric hash join before the
     /// bucket-level LRU starts evicting (paper Sec. IV-B rule 3).
     pub symmetric_bucket_budget: usize,
+    /// Worker threads for morsel-parallel operators. `1` (the default)
+    /// takes the serial reference path, bit-for-bit.
+    pub parallelism: usize,
+    /// Rows per morsel when an operator goes parallel.
+    pub morsel_rows: usize,
+    /// Inputs below this row count stay serial even when `parallelism > 1`
+    /// (fan-out overhead dominates on small tables).
+    pub min_parallel_rows: usize,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { symmetric_batch_rows: 1024, symmetric_bucket_budget: 1 << 16 }
+        ExecConfig {
+            symmetric_batch_rows: 1024,
+            symmetric_bucket_budget: 1 << 16,
+            parallelism: 1,
+            morsel_rows: 4096,
+            min_parallel_rows: 4096,
+        }
     }
 }
 
@@ -50,6 +65,12 @@ impl<'a> ExecContext<'a> {
     }
 }
 
+// Morsel workers borrow the context across threads; keep it shareable.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<ExecContext<'static>>();
+};
+
 /// Executes a plan to a materialized table.
 pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
     match plan {
@@ -64,22 +85,38 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
             Ok(out)
         }
         LogicalPlan::Values { table } => Ok(table.clone()),
-        LogicalPlan::MultiJoin { .. } => Err(Error::Plan(
-            "MultiJoin reached the executor; run the optimizer first".into(),
-        )),
+        LogicalPlan::MultiJoin { .. } => {
+            Err(Error::Plan("MultiJoin reached the executor; run the optimizer first".into()))
+        }
         LogicalPlan::Filter { input, predicate } => {
             let t = execute(input, ctx)?;
             let start = Instant::now();
+            let kind =
+                if predicate.contains_udf() { OperatorKind::UdfEval } else { OperatorKind::Filter };
+            if parallel::active(ctx.config, t.num_rows()) {
+                let (out, busy) = parallel::filter(&t, predicate, ctx)?;
+                ctx.profiler.record_parallel(kind, start.elapsed(), busy, out.num_rows());
+                return Ok(out);
+            }
             let mask_col = predicate.eval(&t, &ctx.eval_ctx())?;
             let mask = mask_col.as_bool_slice()?;
             let out = t.filter(mask);
-            let kind = if predicate.contains_udf() { OperatorKind::UdfEval } else { OperatorKind::Filter };
             ctx.profiler.record(kind, start.elapsed(), out.num_rows());
             Ok(out)
         }
         LogicalPlan::Project { input, exprs, schema } => {
             let t = execute(input, ctx)?;
             let start = Instant::now();
+            if parallel::active(ctx.config, t.num_rows()) {
+                let (out, busy) = parallel::project(&t, exprs, schema, ctx)?;
+                ctx.profiler.record_parallel(
+                    OperatorKind::Project,
+                    start.elapsed(),
+                    busy,
+                    out.num_rows(),
+                );
+                return Ok(out);
+            }
             let cols: Vec<Column> = exprs
                 .iter()
                 .zip(schema.fields())
@@ -93,21 +130,30 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
             let lt = execute(left, ctx)?;
             let rt = execute(right, ctx)?;
             let start = Instant::now();
-            let out = match algorithm {
+            let (out, extra_busy) = match algorithm {
                 JoinAlgorithm::Hash => {
                     hash_join(&lt, &rt, keys, residual.as_ref(), output.as_deref(), schema, ctx)?
                 }
-                JoinAlgorithm::SymmetricHash => symmetric::symmetric_hash_join(
-                    &lt,
-                    &rt,
-                    keys,
-                    residual.as_ref(),
-                    output.as_deref(),
-                    schema,
-                    ctx,
-                )?,
+                JoinAlgorithm::SymmetricHash => (
+                    symmetric::symmetric_hash_join(
+                        &lt,
+                        &rt,
+                        keys,
+                        residual.as_ref(),
+                        output.as_deref(),
+                        schema,
+                        ctx,
+                    )?,
+                    std::time::Duration::ZERO,
+                ),
             };
-            ctx.profiler.record(OperatorKind::Join, start.elapsed(), out.num_rows());
+            let elapsed = start.elapsed();
+            ctx.profiler.record_parallel(
+                OperatorKind::Join,
+                elapsed,
+                elapsed + extra_busy,
+                out.num_rows(),
+            );
             Ok(out)
         }
         LogicalPlan::Cross { left, right, schema } => {
@@ -130,6 +176,16 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
             let t = execute(input, ctx)?;
             let start = Instant::now();
+            if parallel::active(ctx.config, t.num_rows()) {
+                let (out, busy) = parallel::aggregate(&t, group, aggs, schema, ctx)?;
+                ctx.profiler.record_parallel(
+                    OperatorKind::GroupBy,
+                    start.elapsed(),
+                    busy,
+                    out.num_rows(),
+                );
+                return Ok(out);
+            }
             let out = aggregate(&t, group, aggs, schema, ctx)?;
             ctx.profiler.record(OperatorKind::GroupBy, start.elapsed(), out.num_rows());
             Ok(out)
@@ -181,11 +237,7 @@ fn coerce_column(col: Column, target: DataType) -> Result<Column> {
         (Column::Float64(v), DataType::Int64) if v.iter().all(|x| x.fract() == 0.0) => {
             Ok(Column::Int64(v.iter().map(|&x| x as i64).collect()))
         }
-        _ => Err(Error::Type(format!(
-            "cannot coerce {} column to {}",
-            col.data_type(),
-            target
-        ))),
+        _ => Err(Error::Type(format!("cannot coerce {} column to {}", col.data_type(), target))),
     }
 }
 
@@ -232,13 +284,8 @@ pub(crate) fn glue_join(
                 }
             }
             let mut fields: Vec<crate::table::Field> = schema.fields().to_vec();
-            let all_fields: Vec<crate::table::Field> = lt
-                .schema()
-                .fields()
-                .iter()
-                .chain(rt.schema().fields())
-                .cloned()
-                .collect();
+            let all_fields: Vec<crate::table::Field> =
+                lt.schema().fields().iter().chain(rt.schema().fields()).cloned().collect();
             for &c in &cols_needed[mask.len()..] {
                 fields.push(all_fields[c].clone());
             }
@@ -259,11 +306,13 @@ pub(crate) fn glue_join(
 }
 
 /// Multi-key hash keys for a row set.
-pub(crate) fn composite_keys(table: &Table, exprs: &[BoundExpr], ctx: &ExecContext<'_>) -> Result<Vec<Vec<Key>>> {
-    let cols: Vec<Column> = exprs
-        .iter()
-        .map(|e| e.eval(table, &ctx.eval_ctx()))
-        .collect::<Result<_>>()?;
+pub(crate) fn composite_keys(
+    table: &Table,
+    exprs: &[BoundExpr],
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Vec<Key>>> {
+    let cols: Vec<Column> =
+        exprs.iter().map(|e| e.eval(table, &ctx.eval_ctx())).collect::<Result<_>>()?;
     let n = table.num_rows();
     let mut out = Vec::with_capacity(n);
     for row in 0..n {
@@ -298,10 +347,8 @@ enum JoinKeys {
 }
 
 fn join_keys(table: &Table, exprs: &[BoundExpr], ctx: &ExecContext<'_>) -> Result<JoinKeys> {
-    let cols: Vec<Column> = exprs
-        .iter()
-        .map(|e| e.eval(table, &ctx.eval_ctx()))
-        .collect::<Result<_>>()?;
+    let cols: Vec<Column> =
+        exprs.iter().map(|e| e.eval(table, &ctx.eval_ctx())).collect::<Result<_>>()?;
     let ints: Option<Vec<&Vec<i64>>> = cols
         .iter()
         .map(|c| match c {
@@ -325,6 +372,10 @@ fn join_keys(table: &Table, exprs: &[BoundExpr], ctx: &ExecContext<'_>) -> Resul
     Ok(JoinKeys::General)
 }
 
+/// Hash join: serial build on the smaller side, probe either serially or
+/// morsel-parallel. Returns the joined table plus any worker busy time the
+/// parallel probe accrued beyond its own wall time (zero when serial), so
+/// the caller can report wall + extra to the profiler.
 fn hash_join(
     lt: &Table,
     rt: &Table,
@@ -333,7 +384,7 @@ fn hash_join(
     output: Option<&[usize]>,
     schema: &Schema,
     ctx: &ExecContext<'_>,
-) -> Result<Table> {
+) -> Result<(Table, std::time::Duration)> {
     let l_keys: Vec<BoundExpr> = keys.iter().map(|(l, _)| l.clone()).collect();
     let r_keys: Vec<BoundExpr> = keys.iter().map(|(_, r)| r.clone()).collect();
     let lk = join_keys(lt, &l_keys, ctx)?;
@@ -341,30 +392,32 @@ fn hash_join(
 
     // Build on the smaller side.
     let build_left = lt.num_rows() <= rt.num_rows();
-    let mut l_idx = Vec::new();
-    let mut r_idx = Vec::new();
-    let mut emit = |build_row: usize, probe_row: usize| {
-        if build_left {
-            l_idx.push(build_row);
-            r_idx.push(probe_row);
-        } else {
-            l_idx.push(probe_row);
-            r_idx.push(build_row);
-        }
-    };
-    match (&lk, &rk) {
+    let mut extra_busy = std::time::Duration::ZERO;
+    let (build_rows, probe_rows) = match (&lk, &rk) {
         (JoinKeys::Packed(l), JoinKeys::Packed(r)) => {
             let (build, probe) = if build_left { (l, r) } else { (r, l) };
             let mut table: HashMap<i128, Vec<usize>> = HashMap::with_capacity(build.len());
             for (row, &k) in build.iter().enumerate() {
                 table.entry(k).or_default().push(row);
             }
-            for (probe_row, k) in probe.iter().enumerate() {
-                if let Some(matches) = table.get(k) {
-                    for &build_row in matches {
-                        emit(build_row, probe_row);
+            if parallel::active(ctx.config, probe.len()) {
+                let probe_start = Instant::now();
+                let (b, p, busy) =
+                    parallel::probe(probe.len(), |row| table.get(&probe[row]), ctx.config);
+                extra_busy = busy.saturating_sub(probe_start.elapsed());
+                (b, p)
+            } else {
+                let mut b = Vec::new();
+                let mut p = Vec::new();
+                for (probe_row, k) in probe.iter().enumerate() {
+                    if let Some(matches) = table.get(k) {
+                        for &build_row in matches {
+                            b.push(build_row);
+                            p.push(probe_row);
+                        }
                     }
                 }
+                (b, p)
             }
         }
         _ => {
@@ -378,16 +431,34 @@ fn hash_join(
             for (row, k) in build.iter().enumerate() {
                 table.entry(k.as_slice()).or_default().push(row);
             }
-            for (probe_row, k) in probe.iter().enumerate() {
-                if let Some(matches) = table.get(k.as_slice()) {
-                    for &build_row in matches {
-                        emit(build_row, probe_row);
+            if parallel::active(ctx.config, probe.len()) {
+                let probe_start = Instant::now();
+                let (b, p, busy) = parallel::probe(
+                    probe.len(),
+                    |row| table.get(probe[row].as_slice()),
+                    ctx.config,
+                );
+                extra_busy = busy.saturating_sub(probe_start.elapsed());
+                (b, p)
+            } else {
+                let mut b = Vec::new();
+                let mut p = Vec::new();
+                for (probe_row, k) in probe.iter().enumerate() {
+                    if let Some(matches) = table.get(k.as_slice()) {
+                        for &build_row in matches {
+                            b.push(build_row);
+                            p.push(probe_row);
+                        }
                     }
                 }
+                (b, p)
             }
         }
-    }
-    glue_join(lt, &l_idx, rt, &r_idx, residual, output, schema, ctx)
+    };
+    let (l_idx, r_idx) =
+        if build_left { (build_rows, probe_rows) } else { (probe_rows, build_rows) };
+    let out = glue_join(lt, &l_idx, rt, &r_idx, residual, output, schema, ctx)?;
+    Ok((out, extra_busy))
 }
 
 // ---------------------------------------------------------------------------
@@ -399,11 +470,18 @@ enum Acc {
     CountDistinct(std::collections::HashSet<Key>),
     SumI(i64),
     SumF(f64),
-    Avg { sum: f64, n: u64 },
+    Avg {
+        sum: f64,
+        n: u64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
     /// Welford accumulator for the sample standard deviation.
-    Std { n: u64, mean: f64, m2: f64 },
+    Std {
+        n: u64,
+        mean: f64,
+        m2: f64,
+    },
 }
 
 impl Acc {
@@ -470,6 +548,57 @@ impl Acc {
         Ok(())
     }
 
+    /// Folds another accumulator of the same shape into this one. The
+    /// parallel group-by merges per-morsel partials in morsel order, so the
+    /// combined state depends only on the morsel decomposition, not on
+    /// worker scheduling.
+    fn merge(&mut self, other: Acc) -> Result<()> {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (Acc::CountDistinct(a), Acc::CountDistinct(b)) => a.extend(b),
+            (Acc::SumI(a), Acc::SumI(b)) => *a += b,
+            (Acc::SumF(a), Acc::SumF(b)) => *a += b,
+            (Acc::Avg { sum, n }, Acc::Avg { sum: sum2, n: n2 }) => {
+                *sum += sum2;
+                *n += n2;
+            }
+            (Acc::Min(cur), Acc::Min(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_lt()) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (Acc::Max(cur), Acc::Max(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_gt()) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (Acc::Std { n, mean, m2 }, Acc::Std { n: n2, mean: mean2, m2: m2_2 }) => {
+                // Chan et al. pairwise variance combination.
+                if n2 > 0 {
+                    if *n == 0 {
+                        (*n, *mean, *m2) = (n2, mean2, m2_2);
+                    } else {
+                        let (na, nb) = (*n as f64, n2 as f64);
+                        let delta = mean2 - *mean;
+                        *mean += delta * nb / (na + nb);
+                        *m2 += m2_2 + delta * delta * na * nb / (na + nb);
+                        *n += n2;
+                    }
+                }
+            }
+            _ => {
+                return Err(Error::Plan(
+                    "mismatched accumulator shapes in parallel aggregate merge".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     fn finish(&self, output_type: DataType) -> Value {
         match self {
             Acc::Count(c) => Value::Int64(*c),
@@ -506,10 +635,8 @@ fn aggregate(
     ctx: &ExecContext<'_>,
 ) -> Result<Table> {
     let n = t.num_rows();
-    let key_cols: Vec<Column> = group
-        .iter()
-        .map(|e| e.eval(t, &ctx.eval_ctx()))
-        .collect::<Result<_>>()?;
+    let key_cols: Vec<Column> =
+        group.iter().map(|e| e.eval(t, &ctx.eval_ctx())).collect::<Result<_>>()?;
     let arg_cols: Vec<Option<Column>> = aggs
         .iter()
         .map(|a| a.arg.as_ref().map(|e| e.eval(t, &ctx.eval_ctx())).transpose())
@@ -531,7 +658,8 @@ fn aggregate(
         row_group.push(id);
     }
     // Global aggregate: exactly one group even with zero input rows.
-    let n_groups = if group.is_empty() { 1.max(group_first_row.len()) } else { group_first_row.len() };
+    let n_groups =
+        if group.is_empty() { 1.max(group_first_row.len()) } else { group_first_row.len() };
 
     // Accumulate.
     let mut accs: Vec<Vec<Acc>> = (0..n_groups)
@@ -553,7 +681,8 @@ fn aggregate(
 
     // Emit.
     #[allow(clippy::needless_range_loop)]
-    let mut cols: Vec<Column> = schema.fields().iter().map(|f| Column::empty(f.data_type)).collect();
+    let mut cols: Vec<Column> =
+        schema.fields().iter().map(|f| Column::empty(f.data_type)).collect();
     #[allow(clippy::needless_range_loop)] // g indexes accumulators and first-row table
     for g in 0..n_groups {
         for (ki, kc) in key_cols.iter().enumerate() {
@@ -579,10 +708,7 @@ mod tests {
 
     fn sample_table() -> Table {
         Table::new(
-            Schema::new(vec![
-                Field::new("k", DataType::Int64),
-                Field::new("v", DataType::Float64),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int64), Field::new("v", DataType::Float64)]),
             vec![
                 Column::Int64(vec![1, 2, 1, 2, 3]),
                 Column::Float64(vec![10.0, 20.0, 30.0, 40.0, 50.0]),
@@ -595,9 +721,13 @@ mod tests {
     fn filter_executes_mask() {
         let (catalog, udfs, profiler, config) = ctx_parts();
         catalog.create_table("t", sample_table(), false).unwrap();
-        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx =
+            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
         let plan = LogicalPlan::Filter {
-            input: Box::new(LogicalPlan::Scan { table: "t".into(), schema: sample_table().schema().clone() }),
+            input: Box::new(LogicalPlan::Scan {
+                table: "t".into(),
+                schema: sample_table().schema().clone(),
+            }),
             predicate: BoundExpr::Binary {
                 left: Box::new(BoundExpr::Column(0)),
                 op: crate::sql::ast::BinOp::Eq,
@@ -615,20 +745,20 @@ mod tests {
     #[test]
     fn hash_join_matches_pairs() {
         let (catalog, udfs, profiler, config) = ctx_parts();
-        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx =
+            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
         let lt = sample_table();
         let rt = Table::new(
-            Schema::new(vec![Field::new("k2", DataType::Int64), Field::new("name", DataType::Utf8)]),
-            vec![
-                Column::Int64(vec![1, 3]),
-                Column::Utf8(vec!["one".into(), "three".into()]),
-            ],
+            Schema::new(vec![
+                Field::new("k2", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+            ]),
+            vec![Column::Int64(vec![1, 3]), Column::Utf8(vec!["one".into(), "three".into()])],
         )
         .unwrap();
-        let schema = Schema::new(
-            lt.schema().fields().iter().chain(rt.schema().fields()).cloned().collect(),
-        );
-        let out = hash_join(
+        let schema =
+            Schema::new(lt.schema().fields().iter().chain(rt.schema().fields()).cloned().collect());
+        let (out, _) = hash_join(
             &lt,
             &rt,
             &[(BoundExpr::Column(0), BoundExpr::Column(0))],
@@ -645,7 +775,8 @@ mod tests {
     #[test]
     fn aggregate_group_by() {
         let (catalog, udfs, profiler, config) = ctx_parts();
-        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx =
+            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
         let t = sample_table();
         let schema = Schema::new(vec![
             Field::new("k", DataType::Int64),
@@ -656,8 +787,18 @@ mod tests {
             &t,
             &[BoundExpr::Column(0)],
             &[
-                AggExpr { func: AggFunc::Sum, arg: Some(BoundExpr::Column(1)), distinct: false, output_name: "s".into() },
-                AggExpr { func: AggFunc::Count, arg: None, distinct: false, output_name: "c".into() },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(BoundExpr::Column(1)),
+                    distinct: false,
+                    output_name: "s".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Count,
+                    arg: None,
+                    distinct: false,
+                    output_name: "c".into(),
+                },
             ],
             &schema,
             &ctx,
@@ -676,13 +817,19 @@ mod tests {
     #[test]
     fn global_aggregate_over_empty_input() {
         let (catalog, udfs, profiler, config) = ctx_parts();
-        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx =
+            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
         let t = Table::empty(sample_table().schema().clone());
         let schema = Schema::new(vec![Field::new("c", DataType::Int64)]);
         let out = aggregate(
             &t,
             &[],
-            &[AggExpr { func: AggFunc::Count, arg: None, distinct: false, output_name: "c".into() }],
+            &[AggExpr {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+                output_name: "c".into(),
+            }],
             &schema,
             &ctx,
         )
@@ -694,7 +841,8 @@ mod tests {
     #[test]
     fn count_of_boolean_counts_trues() {
         let (catalog, udfs, profiler, config) = ctx_parts();
-        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx =
+            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
         let t = Table::new(
             Schema::new(vec![Field::new("b", DataType::Bool)]),
             vec![Column::Bool(vec![true, false, true, true])],
@@ -704,7 +852,12 @@ mod tests {
         let out = aggregate(
             &t,
             &[],
-            &[AggExpr { func: AggFunc::Count, arg: Some(BoundExpr::Column(0)), distinct: false, output_name: "c".into() }],
+            &[AggExpr {
+                func: AggFunc::Count,
+                arg: Some(BoundExpr::Column(0)),
+                distinct: false,
+                output_name: "c".into(),
+            }],
             &schema,
             &ctx,
         )
@@ -713,9 +866,169 @@ mod tests {
     }
 
     #[test]
+    fn parallel_operators_match_serial() {
+        // A table big enough to split into several morsels.
+        let n = 1000i64;
+        let big = Table::new(
+            Schema::new(vec![Field::new("k", DataType::Int64), Field::new("v", DataType::Float64)]),
+            vec![
+                Column::Int64((0..n).map(|i| i % 37).collect()),
+                Column::Float64((0..n).map(|i| i as f64 * 0.5).collect()),
+            ],
+        )
+        .unwrap();
+
+        let run = |parallelism: usize| -> (Table, Table, Table) {
+            let (catalog, udfs, profiler, mut config) = ctx_parts();
+            config.parallelism = parallelism;
+            config.morsel_rows = 64;
+            config.min_parallel_rows = 0;
+            catalog.create_table("t", big.clone(), false).unwrap();
+            let ctx = ExecContext {
+                catalog: &catalog,
+                udfs: &udfs,
+                profiler: &profiler,
+                config: &config,
+            };
+            let scan = LogicalPlan::Scan { table: "t".into(), schema: big.schema().clone() };
+            let filtered = execute(
+                &LogicalPlan::Filter {
+                    input: Box::new(scan.clone()),
+                    predicate: BoundExpr::Binary {
+                        left: Box::new(BoundExpr::Column(0)),
+                        op: crate::sql::ast::BinOp::Lt,
+                        right: Box::new(BoundExpr::Literal(Value::Int64(20))),
+                    },
+                },
+                &ctx,
+            )
+            .unwrap();
+            let (joined, _) = hash_join(
+                &big,
+                &big,
+                &[(BoundExpr::Column(0), BoundExpr::Column(0))],
+                None,
+                None,
+                &Schema::new(
+                    big.schema().fields().iter().chain(big.schema().fields()).cloned().collect(),
+                ),
+                &ctx,
+            )
+            .unwrap();
+            let agg_schema = Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("c", DataType::Int64),
+                Field::new("mn", DataType::Float64),
+            ]);
+            let grouped = if parallelism > 1 {
+                parallel::aggregate(
+                    &big,
+                    &[BoundExpr::Column(0)],
+                    &[
+                        AggExpr {
+                            func: AggFunc::Count,
+                            arg: None,
+                            distinct: false,
+                            output_name: "c".into(),
+                        },
+                        AggExpr {
+                            func: AggFunc::Min,
+                            arg: Some(BoundExpr::Column(1)),
+                            distinct: false,
+                            output_name: "mn".into(),
+                        },
+                    ],
+                    &agg_schema,
+                    &ctx,
+                )
+                .unwrap()
+                .0
+            } else {
+                aggregate(
+                    &big,
+                    &[BoundExpr::Column(0)],
+                    &[
+                        AggExpr {
+                            func: AggFunc::Count,
+                            arg: None,
+                            distinct: false,
+                            output_name: "c".into(),
+                        },
+                        AggExpr {
+                            func: AggFunc::Min,
+                            arg: Some(BoundExpr::Column(1)),
+                            distinct: false,
+                            output_name: "mn".into(),
+                        },
+                    ],
+                    &agg_schema,
+                    &ctx,
+                )
+                .unwrap()
+            };
+            (filtered, joined, grouped)
+        };
+
+        let (f1, j1, g1) = run(1);
+        for p in [2, 8] {
+            let (fp, jp, gp) = run(p);
+            assert_eq!(f1, fp, "filter differs at parallelism={p}");
+            assert_eq!(j1, jp, "join differs at parallelism={p}");
+            assert_eq!(g1, gp, "group-by differs at parallelism={p}");
+        }
+    }
+
+    #[test]
+    fn acc_merge_combines_partials() {
+        // Merging per-morsel partials must agree with a single pass for the
+        // exactly-mergeable accumulators, and with the definition for Std.
+        let agg = |func, distinct| AggExpr {
+            func,
+            arg: Some(BoundExpr::Column(0)),
+            distinct,
+            output_name: "x".into(),
+        };
+        let data: Vec<f64> = vec![1.0, 4.0, 2.0, 8.0, 5.0, 7.0];
+        let (lo, hi) = data.split_at(3);
+
+        let mut whole = Acc::new(&agg(AggFunc::StddevSamp, false), Some(DataType::Float64));
+        for &x in &data {
+            whole.update(Some(&Value::Float64(x))).unwrap();
+        }
+        let mut a = Acc::new(&agg(AggFunc::StddevSamp, false), Some(DataType::Float64));
+        let mut b = Acc::new(&agg(AggFunc::StddevSamp, false), Some(DataType::Float64));
+        for &x in lo {
+            a.update(Some(&Value::Float64(x))).unwrap();
+        }
+        for &x in hi {
+            b.update(Some(&Value::Float64(x))).unwrap();
+        }
+        a.merge(b).unwrap();
+        let serial = whole.finish(DataType::Float64).as_f64().unwrap();
+        let merged = a.finish(DataType::Float64).as_f64().unwrap();
+        assert!((serial - merged).abs() < 1e-12, "std merge: {serial} vs {merged}");
+
+        let mut ca = Acc::new(&agg(AggFunc::Count, true), Some(DataType::Float64));
+        let mut cb = Acc::new(&agg(AggFunc::Count, true), Some(DataType::Float64));
+        ca.update(Some(&Value::Float64(1.0))).unwrap();
+        ca.update(Some(&Value::Float64(2.0))).unwrap();
+        cb.update(Some(&Value::Float64(2.0))).unwrap();
+        cb.update(Some(&Value::Float64(3.0))).unwrap();
+        ca.merge(cb).unwrap();
+        assert_eq!(ca.finish(DataType::Int64), Value::Int64(3));
+
+        let mut ma = Acc::new(&agg(AggFunc::Max, false), Some(DataType::Float64));
+        let mb = Acc::new(&agg(AggFunc::Max, false), Some(DataType::Float64));
+        ma.update(Some(&Value::Float64(4.0))).unwrap();
+        ma.merge(mb).unwrap(); // empty partial leaves the max unchanged
+        assert_eq!(ma.finish(DataType::Float64), Value::Float64(4.0));
+    }
+
+    #[test]
     fn stddev_samp_matches_definition() {
         let (catalog, udfs, profiler, config) = ctx_parts();
-        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx =
+            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
         let t = Table::new(
             Schema::new(vec![Field::new("v", DataType::Float64)]),
             vec![Column::Float64(vec![1.0, 2.0, 3.0])],
@@ -725,7 +1038,12 @@ mod tests {
         let out = aggregate(
             &t,
             &[],
-            &[AggExpr { func: AggFunc::StddevSamp, arg: Some(BoundExpr::Column(0)), distinct: false, output_name: "s".into() }],
+            &[AggExpr {
+                func: AggFunc::StddevSamp,
+                arg: Some(BoundExpr::Column(0)),
+                distinct: false,
+                output_name: "s".into(),
+            }],
             &schema,
             &ctx,
         )

@@ -67,12 +67,23 @@ impl SymmetricSide {
         }
     }
 
-    fn insert(&mut self, key: Vec<Key>, row: usize, budget: usize, metrics: &mut SymmetricJoinMetrics) {
+    fn insert(
+        &mut self,
+        key: Vec<Key>,
+        row: usize,
+        budget: usize,
+        metrics: &mut SymmetricJoinMetrics,
+    ) {
         self.touch(&key, budget, metrics);
         self.table.entry(key).or_default().push(row);
     }
 
-    fn probe(&mut self, key: &[Key], budget: usize, metrics: &mut SymmetricJoinMetrics) -> &[usize] {
+    fn probe(
+        &mut self,
+        key: &[Key],
+        budget: usize,
+        metrics: &mut SymmetricJoinMetrics,
+    ) -> &[usize] {
         if self.table.contains_key(key) {
             self.touch(key, budget, metrics);
         }
@@ -172,11 +183,8 @@ mod tests {
     use crate::value::DataType;
 
     fn make(keys: Vec<i64>) -> Table {
-        Table::new(
-            Schema::new(vec![Field::new("k", DataType::Int64)]),
-            vec![Column::Int64(keys)],
-        )
-        .unwrap()
+        Table::new(Schema::new(vec![Field::new("k", DataType::Int64)]), vec![Column::Int64(keys)])
+            .unwrap()
     }
 
     fn joined_schema(l: &Table, r: &Table) -> Schema {
@@ -188,8 +196,13 @@ mod tests {
         let catalog = Catalog::new();
         let udfs = UdfRegistry::new();
         let profiler = Profiler::new();
-        let config = ExecConfig { symmetric_batch_rows: 2, symmetric_bucket_budget: 4 };
-        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let config = ExecConfig {
+            symmetric_batch_rows: 2,
+            symmetric_bucket_budget: 4,
+            ..Default::default()
+        };
+        let ctx =
+            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
 
         let lt = make(vec![1, 2, 2, 3, 5]);
         let rt = make(vec![2, 2, 3, 4]);
@@ -208,8 +221,13 @@ mod tests {
         let catalog = Catalog::new();
         let udfs = UdfRegistry::new();
         let profiler = Profiler::new();
-        let config = ExecConfig { symmetric_batch_rows: 1, symmetric_bucket_budget: 1 };
-        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let config = ExecConfig {
+            symmetric_batch_rows: 1,
+            symmetric_bucket_budget: 1,
+            ..Default::default()
+        };
+        let ctx =
+            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
 
         let lt = make((0..20).collect());
         let rt = make((0..20).rev().collect());

@@ -69,11 +69,7 @@ pub enum BoundExpr {
     /// Unary operator.
     Unary { op: UnaryOp, expr: Box<BoundExpr> },
     /// Binary operator.
-    Binary {
-        left: Box<BoundExpr>,
-        op: BinOp,
-        right: Box<BoundExpr>,
-    },
+    Binary { left: Box<BoundExpr>, op: BinOp, right: Box<BoundExpr> },
     /// Built-in scalar function.
     ScalarFn { func: ScalarFunc, args: Vec<BoundExpr> },
     /// User-defined function, resolved from the registry at evaluation.
@@ -122,14 +118,15 @@ impl BoundExpr {
                     ScalarFunc::If => args[1].data_type(schema, udfs),
                     ScalarFunc::Greatest | ScalarFunc::Least => args[0].data_type(schema, udfs),
                     ScalarFunc::Abs => args[0].data_type(schema, udfs),
-                    ScalarFunc::Floor | ScalarFunc::Ceil | ScalarFunc::Round => Ok(DataType::Float64),
+                    ScalarFunc::Floor | ScalarFunc::Ceil | ScalarFunc::Round => {
+                        Ok(DataType::Float64)
+                    }
                     _ => Ok(DataType::Float64),
                 }
             }
             BoundExpr::Udf { name, .. } => {
-                let udf = udfs
-                    .get(name)
-                    .ok_or_else(|| Error::NotFound(format!("function '{name}'")))?;
+                let udf =
+                    udfs.get(name).ok_or_else(|| Error::NotFound(format!("function '{name}'")))?;
                 Ok(udf.return_type)
             }
         }
@@ -243,7 +240,9 @@ impl BoundExpr {
                 match op {
                     UnaryOp::Neg => match c {
                         Column::Int64(v) => Ok(Column::Int64(v.into_iter().map(|x| -x).collect())),
-                        Column::Float64(v) => Ok(Column::Float64(v.into_iter().map(|x| -x).collect())),
+                        Column::Float64(v) => {
+                            Ok(Column::Float64(v.into_iter().map(|x| -x).collect()))
+                        }
                         other => Err(Error::Type(format!("cannot negate {}", other.data_type()))),
                     },
                     UnaryOp::Not => match c {
@@ -259,7 +258,8 @@ impl BoundExpr {
                 eval_binary(&l, *op, &r)
             }
             BoundExpr::ScalarFn { func, args } => {
-                let cols: Vec<Column> = args.iter().map(|a| a.eval(input, ctx)).collect::<Result<_>>()?;
+                let cols: Vec<Column> =
+                    args.iter().map(|a| a.eval(input, ctx)).collect::<Result<_>>()?;
                 eval_scalar_fn(*func, &cols, n)
             }
             BoundExpr::Udf { name, args } => {
@@ -267,7 +267,8 @@ impl BoundExpr {
                     .udfs
                     .get(name)
                     .ok_or_else(|| Error::NotFound(format!("function '{name}'")))?;
-                let cols: Vec<Column> = args.iter().map(|a| a.eval(input, ctx)).collect::<Result<_>>()?;
+                let cols: Vec<Column> =
+                    args.iter().map(|a| a.eval(input, ctx)).collect::<Result<_>>()?;
                 // Prefer the vectorized implementation when one exists
                 // (the paper's "batch manner").
                 if let Some(batch) = &udf.batch_func {
@@ -306,8 +307,8 @@ impl BoundExpr {
         if !self.referenced_columns().is_empty() {
             return Err(Error::Plan("expression is not constant".into()));
         }
-        let one = Table::new(Schema::default(), vec![])
-            .expect("empty schema/columns are consistent");
+        let one =
+            Table::new(Schema::default(), vec![]).expect("empty schema/columns are consistent");
         // An empty table has zero rows; evaluate via a scalar path instead.
         let _ = one;
         self.eval_scalar(ctx)
@@ -334,11 +335,9 @@ impl BoundExpr {
                 scalar_binary(&l, *op, &r)
             }
             BoundExpr::ScalarFn { func, args } => {
-                let vals: Vec<Value> = args.iter().map(|a| a.eval_scalar(ctx)).collect::<Result<_>>()?;
-                let cols: Vec<Column> = vals
-                    .iter()
-                    .map(|v| broadcast(v, 1))
-                    .collect();
+                let vals: Vec<Value> =
+                    args.iter().map(|a| a.eval_scalar(ctx)).collect::<Result<_>>()?;
+                let cols: Vec<Column> = vals.iter().map(|v| broadcast(v, 1)).collect();
                 let out = eval_scalar_fn(*func, &cols, 1)?;
                 Ok(out.value(0))
             }
@@ -347,7 +346,8 @@ impl BoundExpr {
                     .udfs
                     .get(name)
                     .ok_or_else(|| Error::NotFound(format!("function '{name}'")))?;
-                let vals: Vec<Value> = args.iter().map(|a| a.eval_scalar(ctx)).collect::<Result<_>>()?;
+                let vals: Vec<Value> =
+                    args.iter().map(|a| a.eval_scalar(ctx)).collect::<Result<_>>()?;
                 udf.invoke(&vals)
             }
         }

@@ -58,8 +58,8 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use column::Column;
-pub use cost::{CostModel, DefaultCostModel, PlanCost};
-pub use db::{Database, QueryResult};
+pub use cost::{parallel_discount, CostContext, CostModel, DefaultCostModel, PlanCost};
+pub use db::{Database, DatabaseBuilder, PreparedQuery, QueryResult};
 pub use error::{Error, Result};
 pub use profile::{OperatorKind, Profiler};
 pub use table::{Field, Schema, Table};

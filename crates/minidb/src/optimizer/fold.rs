@@ -58,10 +58,7 @@ fn fold(plan: LogicalPlan, ctx: &EvalContext<'_>) -> LogicalPlan {
         },
         LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
             input: Box::new(fold(*input, ctx)),
-            keys: keys
-                .into_iter()
-                .map(|(k, asc)| (k.fold_constants(ctx), asc))
-                .collect(),
+            keys: keys.into_iter().map(|(k, asc)| (k.fold_constants(ctx), asc)).collect(),
         },
         LogicalPlan::Limit { input, n } => {
             LogicalPlan::Limit { input: Box::new(fold(*input, ctx)), n }

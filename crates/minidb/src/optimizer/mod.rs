@@ -78,15 +78,12 @@ impl Optimizer {
 
     fn optimize_children(&self, plan: LogicalPlan, ctx: &CostContext<'_>) -> Result<LogicalPlan> {
         Ok(match plan {
-            LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
-                input: Box::new(self.optimize(*input, ctx)?),
-                predicate,
-            },
-            LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
-                input: Box::new(self.optimize(*input, ctx)?),
-                exprs,
-                schema,
-            },
+            LogicalPlan::Filter { input, predicate } => {
+                LogicalPlan::Filter { input: Box::new(self.optimize(*input, ctx)?), predicate }
+            }
+            LogicalPlan::Project { input, exprs, schema } => {
+                LogicalPlan::Project { input: Box::new(self.optimize(*input, ctx)?), exprs, schema }
+            }
             LogicalPlan::Join { left, right, keys, residual, algorithm, output, schema } => {
                 LogicalPlan::Join {
                     left: Box::new(self.optimize(*left, ctx)?),
@@ -109,14 +106,12 @@ impl Optimizer {
                 aggs,
                 schema,
             },
-            LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
-                input: Box::new(self.optimize(*input, ctx)?),
-                keys,
-            },
-            LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
-                input: Box::new(self.optimize(*input, ctx)?),
-                n,
-            },
+            LogicalPlan::Sort { input, keys } => {
+                LogicalPlan::Sort { input: Box::new(self.optimize(*input, ctx)?), keys }
+            }
+            LogicalPlan::Limit { input, n } => {
+                LogicalPlan::Limit { input: Box::new(self.optimize(*input, ctx)?), n }
+            }
             LogicalPlan::MultiJoin { inputs, predicates, schema } => {
                 let inputs = inputs
                     .into_iter()
@@ -171,11 +166,8 @@ impl Optimizer {
         // counts are enumerated exhaustively; larger ones fall back to the
         // two extreme assignments.
         let n = udf_single.len();
-        let assignments: Vec<u32> = if n <= 4 {
-            (0..(1u32 << n)).collect()
-        } else {
-            vec![0, (1u32 << n.min(31)) - 1]
-        };
+        let assignments: Vec<u32> =
+            if n <= 4 { (0..(1u32 << n)).collect() } else { vec![0, (1u32 << n.min(31)) - 1] };
         let mut best: Option<(f64, LogicalPlan)> = None;
         for mask in assignments {
             let mut pushed = fixed.clone();
@@ -240,16 +232,16 @@ impl Optimizer {
             let rels = referenced_relations(p, col_owner);
             if rels.len() <= 1 {
                 let rel = rels.first().copied().unwrap_or(0);
-                let comp = components
-                    .iter_mut()
-                    .find(|c| c.rels.contains(&rel))
-                    .expect("relation exists");
+                let comp =
+                    components.iter_mut().find(|c| c.rels.contains(&rel)).expect("relation exists");
                 let mut local = p.clone();
                 local.remap_columns(&comp.map);
                 comp.plan = LogicalPlan::Filter {
                     input: Box::new(std::mem::replace(
                         &mut comp.plan,
-                        LogicalPlan::Values { table: crate::table::Table::empty(Schema::default()) },
+                        LogicalPlan::Values {
+                            table: crate::table::Table::empty(Schema::default()),
+                        },
                     )),
                     predicate: local,
                 };
@@ -418,7 +410,8 @@ impl Optimizer {
         let identity: Vec<usize> = (0..total_cols).collect();
         let needs_reorder = final_map != identity;
         if needs_reorder {
-            let exprs: Vec<BoundExpr> = (0..total_cols).map(|g| BoundExpr::Column(final_map[g])).collect();
+            let exprs: Vec<BoundExpr> =
+                (0..total_cols).map(|g| BoundExpr::Column(final_map[g])).collect();
             plan = LogicalPlan::Project { input: Box::new(plan), exprs, schema: schema.clone() };
         }
 
@@ -442,11 +435,8 @@ fn conjoin(mut exprs: Vec<BoundExpr>) -> BoundExpr {
 
 /// The distinct relations an expression references.
 fn referenced_relations(expr: &BoundExpr, col_owner: &[usize]) -> Vec<usize> {
-    let mut rels: Vec<usize> = expr
-        .referenced_columns()
-        .into_iter()
-        .map(|c| col_owner[c])
-        .collect();
+    let mut rels: Vec<usize> =
+        expr.referenced_columns().into_iter().map(|c| col_owner[c]).collect();
     rels.sort_unstable();
     rels.dedup();
     rels

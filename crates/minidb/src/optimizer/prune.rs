@@ -167,13 +167,8 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> (LogicalPlan, Vec<usi
             // key-only columns are gathered for probing but never
             // materialized.
             let pruned_width = new_l_width + r_plan.schema().len();
-            let pruned_fields: Vec<Field> = l_plan
-                .schema()
-                .fields()
-                .iter()
-                .chain(r_plan.schema().fields())
-                .cloned()
-                .collect();
+            let pruned_fields: Vec<Field> =
+                l_plan.schema().fields().iter().chain(r_plan.schema().fields()).cloned().collect();
             let wanted: Vec<usize> = required
                 .iter()
                 .filter(|&&old| map[old] != usize::MAX)
@@ -244,10 +239,7 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> (LogicalPlan, Vec<usi
                     .cloned()
                     .collect::<Vec<Field>>(),
             );
-            (
-                LogicalPlan::Cross { left: Box::new(l_plan), right: Box::new(r_plan), schema },
-                map,
-            )
+            (LogicalPlan::Cross { left: Box::new(l_plan), right: Box::new(r_plan), schema }, map)
         }
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
             let mut used: BTreeSet<usize> = BTreeSet::new();
@@ -278,10 +270,7 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> (LogicalPlan, Vec<usi
                 .collect();
             // The aggregate's own output (groups + aggs) is kept whole.
             let map = (0..width).collect();
-            (
-                LogicalPlan::Aggregate { input: Box::new(child), group, aggs, schema },
-                map,
-            )
+            (LogicalPlan::Aggregate { input: Box::new(child), group, aggs, schema }, map)
         }
         LogicalPlan::Sort { input, keys } => {
             let mut used = required.clone();
@@ -303,7 +292,9 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> (LogicalPlan, Vec<usi
             (LogicalPlan::Limit { input: Box::new(child), n }, cmap)
         }
         // Leaves: narrow with a projection when columns are unused.
-        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } | LogicalPlan::MultiJoin { .. }) => {
+        leaf @ (LogicalPlan::Scan { .. }
+        | LogicalPlan::Values { .. }
+        | LogicalPlan::MultiJoin { .. }) => {
             let schema = leaf.schema().clone();
             if required.len() == schema.len() {
                 return (leaf, (0..width).collect());
@@ -321,11 +312,7 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> (LogicalPlan, Vec<usi
                 fields.push(schema.field(old).clone());
             }
             (
-                LogicalPlan::Project {
-                    input: Box::new(leaf),
-                    exprs,
-                    schema: Schema::new(fields),
-                },
+                LogicalPlan::Project { input: Box::new(leaf), exprs, schema: Schema::new(fields) },
                 map,
             )
         }
@@ -415,7 +402,8 @@ mod tests {
         let udfs = crate::udf::UdfRegistry::new();
         let profiler = crate::profile::Profiler::new();
         let config = ExecConfig::default();
-        let ctx = ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx =
+            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
         let before = execute(&plan, &ctx).unwrap();
         let after = execute(&prune_columns(plan), &ctx).unwrap();
         assert_eq!(before, after);

@@ -75,22 +75,11 @@ pub enum LogicalPlan {
     /// N-ary join not yet lowered: the planner emits this for the whole
     /// FROM clause; the optimizer turns it into a `Join`/`Filter` tree.
     /// `predicates` are bound over the concatenation of input schemas.
-    MultiJoin {
-        inputs: Vec<LogicalPlan>,
-        predicates: Vec<BoundExpr>,
-        schema: Schema,
-    },
+    MultiJoin { inputs: Vec<LogicalPlan>, predicates: Vec<BoundExpr>, schema: Schema },
     /// Row filter.
-    Filter {
-        input: Box<LogicalPlan>,
-        predicate: BoundExpr,
-    },
+    Filter { input: Box<LogicalPlan>, predicate: BoundExpr },
     /// Column projection/computation.
-    Project {
-        input: Box<LogicalPlan>,
-        exprs: Vec<BoundExpr>,
-        schema: Schema,
-    },
+    Project { input: Box<LogicalPlan>, exprs: Vec<BoundExpr>, schema: Schema },
     /// Binary equi join (keys) with optional residual predicate bound over
     /// `left ++ right` columns. `output`, when set, selects which of the
     /// `left ++ right` columns the join materializes (column pruning
@@ -105,24 +94,12 @@ pub enum LogicalPlan {
         schema: Schema,
     },
     /// Cartesian product (only when no equi keys exist).
-    Cross {
-        left: Box<LogicalPlan>,
-        right: Box<LogicalPlan>,
-        schema: Schema,
-    },
+    Cross { left: Box<LogicalPlan>, right: Box<LogicalPlan>, schema: Schema },
     /// Hash aggregation. Output schema: group keys then aggregates.
-    Aggregate {
-        input: Box<LogicalPlan>,
-        group: Vec<BoundExpr>,
-        aggs: Vec<AggExpr>,
-        schema: Schema,
-    },
+    Aggregate { input: Box<LogicalPlan>, group: Vec<BoundExpr>, aggs: Vec<AggExpr>, schema: Schema },
     /// Sort by key expressions (bound over the input schema), each with an
     /// ascending flag.
-    Sort {
-        input: Box<LogicalPlan>,
-        keys: Vec<(BoundExpr, bool)>,
-    },
+    Sort { input: Box<LogicalPlan>, keys: Vec<(BoundExpr, bool)> },
     /// Row-count limit.
     Limit { input: Box<LogicalPlan>, n: u64 },
 }

@@ -72,14 +72,8 @@ impl Scope {
         })
     }
 
-
     fn to_schema(&self) -> Schema {
-        Schema::new(
-            self.entries
-                .iter()
-                .map(|e| Field::new(e.name.clone(), e.data_type))
-                .collect(),
-        )
+        Schema::new(self.entries.iter().map(|e| Field::new(e.name.clone(), e.data_type)).collect())
     }
 }
 
@@ -175,11 +169,8 @@ impl<'a> Planner<'a> {
         let visible = output_exprs.len();
         let mut sort_keys: Vec<(usize, bool)> = Vec::new();
         if !q.order_by.is_empty() {
-            let out_fields: Vec<(String, usize)> = output_names
-                .iter()
-                .enumerate()
-                .map(|(i, n)| (n.clone(), i))
-                .collect();
+            let out_fields: Vec<(String, usize)> =
+                output_names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
             for ob in &q.order_by {
                 // 1. Output alias / column name.
                 if let Expr::Column { qualifier: None, name } = &ob.expr {
@@ -194,22 +185,23 @@ impl<'a> Planner<'a> {
                     }
                 }
                 // 2. Verbatim projection expression.
-                if let Some(pos) = q
-                    .projections
-                    .iter()
-                    .position(|item| matches!(item, SelectItem::Expr { expr, .. } if expr == &ob.expr))
-                {
+                if let Some(pos) = q.projections.iter().position(
+                    |item| matches!(item, SelectItem::Expr { expr, .. } if expr == &ob.expr),
+                ) {
                     sort_keys.push((pos, ob.ascending));
                     continue;
                 }
                 // 3. Pre-projection column: add a hidden output.
                 let hidden = if has_aggregates {
-                    let group_bound: Vec<BoundExpr> = q
-                        .group_by
-                        .iter()
-                        .map(|g| self.bind(g, &scope))
-                        .collect::<Result<_>>()?;
-                    self.rewrite_post_agg(&ob.expr, &scope, &group_bound, &agg_asts, group_bound.len())?
+                    let group_bound: Vec<BoundExpr> =
+                        q.group_by.iter().map(|g| self.bind(g, &scope)).collect::<Result<_>>()?;
+                    self.rewrite_post_agg(
+                        &ob.expr,
+                        &scope,
+                        &group_bound,
+                        &agg_asts,
+                        group_bound.len(),
+                    )?
                 } else {
                     self.bind(&ob.expr, &scope)?
                 };
@@ -257,10 +249,7 @@ impl<'a> Planner<'a> {
 
         // ---- ORDER BY -----------------------------------------------------
         if !sort_keys.is_empty() {
-            let keys = sort_keys
-                .into_iter()
-                .map(|(i, asc)| (BoundExpr::Column(i), asc))
-                .collect();
+            let keys = sort_keys.into_iter().map(|(i, asc)| (BoundExpr::Column(i), asc)).collect();
             plan = LogicalPlan::Sort { input: Box::new(plan), keys };
             // Trim hidden sort columns.
             if out_schema.len() > visible {
@@ -300,8 +289,8 @@ impl<'a> Planner<'a> {
         let mut pending_on: Vec<Expr> = Vec::new();
 
         let add_factor = |factor: &TableFactor,
-                              inputs: &mut Vec<LogicalPlan>,
-                              scope: &mut Scope|
+                          inputs: &mut Vec<LogicalPlan>,
+                          scope: &mut Scope|
          -> Result<()> {
             let binding = factor.binding_name().to_string();
             if scope
@@ -338,11 +327,7 @@ impl<'a> Planner<'a> {
             Ok((plan, scope, on_bound))
         } else {
             let schema = scope.to_schema();
-            Ok((
-                LogicalPlan::MultiJoin { inputs, predicates: vec![], schema },
-                scope,
-                on_bound,
-            ))
+            Ok((LogicalPlan::MultiJoin { inputs, predicates: vec![], schema }, scope, on_bound))
         }
     }
 
@@ -443,7 +428,13 @@ impl<'a> Planner<'a> {
                     return Err(Error::Plan("SELECT * cannot be combined with GROUP BY".into()))
                 }
                 SelectItem::Expr { expr, alias } => {
-                    exprs.push(self.rewrite_post_agg(expr, scope, &group_bound, agg_asts, n_groups)?);
+                    exprs.push(self.rewrite_post_agg(
+                        expr,
+                        scope,
+                        &group_bound,
+                        agg_asts,
+                        n_groups,
+                    )?);
                     names.push(projection_name(expr, alias.as_deref(), i));
                 }
             }
@@ -481,12 +472,30 @@ impl<'a> Planner<'a> {
         match expr {
             Expr::Unary { op, expr: inner } => Ok(BoundExpr::Unary {
                 op: *op,
-                expr: Box::new(self.rewrite_post_agg(inner, scope, group_bound, agg_asts, n_groups)?),
+                expr: Box::new(self.rewrite_post_agg(
+                    inner,
+                    scope,
+                    group_bound,
+                    agg_asts,
+                    n_groups,
+                )?),
             }),
             Expr::Binary { left, op, right } => Ok(BoundExpr::Binary {
-                left: Box::new(self.rewrite_post_agg(left, scope, group_bound, agg_asts, n_groups)?),
+                left: Box::new(self.rewrite_post_agg(
+                    left,
+                    scope,
+                    group_bound,
+                    agg_asts,
+                    n_groups,
+                )?),
                 op: *op,
-                right: Box::new(self.rewrite_post_agg(right, scope, group_bound, agg_asts, n_groups)?),
+                right: Box::new(self.rewrite_post_agg(
+                    right,
+                    scope,
+                    group_bound,
+                    agg_asts,
+                    n_groups,
+                )?),
             }),
             Expr::Function { name, args, .. } => {
                 let rewritten: Vec<BoundExpr> = args
@@ -525,10 +534,9 @@ impl<'a> Planner<'a> {
                 Ok(BoundExpr::Column(idx))
             }
             Expr::Literal(lit) => Ok(BoundExpr::Literal(literal_value(lit))),
-            Expr::Unary { op, expr } => Ok(BoundExpr::Unary {
-                op: *op,
-                expr: Box::new(self.bind(expr, scope)?),
-            }),
+            Expr::Unary { op, expr } => {
+                Ok(BoundExpr::Unary { op: *op, expr: Box::new(self.bind(expr, scope)?) })
+            }
             Expr::Binary { left, op, right } => {
                 let mut l = self.bind(left, scope)?;
                 let mut r = self.bind(right, scope)?;
@@ -673,21 +681,16 @@ fn agg_output_type(
         AggFunc::Count => DataType::Int64,
         AggFunc::Avg | AggFunc::StddevSamp => DataType::Float64,
         AggFunc::Sum => {
-            let t = agg
-                .arg
-                .as_ref()
-                .expect("SUM requires an argument")
-                .data_type(in_schema, udfs)?;
+            let t =
+                agg.arg.as_ref().expect("SUM requires an argument").data_type(in_schema, udfs)?;
             if t == DataType::Int64 {
                 DataType::Int64
             } else {
                 DataType::Float64
             }
         }
-        AggFunc::Min | AggFunc::Max => agg
-            .arg
-            .as_ref()
-            .expect("MIN/MAX require an argument")
-            .data_type(in_schema, udfs)?,
+        AggFunc::Min | AggFunc::Max => {
+            agg.arg.as_ref().expect("MIN/MAX require an argument").data_type(in_schema, udfs)?
+        }
     })
 }

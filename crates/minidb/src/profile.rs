@@ -47,9 +47,14 @@ impl OperatorKind {
 /// Accumulated time and invocation count for one operator kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OperatorStats {
+    /// Wall-clock time across invocations (children excluded).
     pub total: Duration,
     pub invocations: u64,
     pub rows_out: u64,
+    /// Summed per-worker busy time. Equal to `total` for serial
+    /// invocations; larger when morsels ran on several workers (the
+    /// busy/total ratio is the operator's effective parallelism).
+    pub busy: Duration,
 }
 
 /// Thread-safe timing accumulator.
@@ -64,13 +69,31 @@ impl Profiler {
         Profiler::default()
     }
 
-    /// Records one operator invocation.
+    /// Records one (serial) operator invocation.
     pub fn record(&self, kind: OperatorKind, elapsed: Duration, rows_out: usize) {
+        self.record_parallel(kind, elapsed, elapsed, rows_out);
+    }
+
+    /// Records one operator invocation that fanned out over a worker pool:
+    /// `elapsed` is the wall time, `busy` the per-worker timers' sum.
+    pub fn record_parallel(
+        &self,
+        kind: OperatorKind,
+        elapsed: Duration,
+        busy: Duration,
+        rows_out: usize,
+    ) {
         let mut map = self.map.lock();
         let e = map.entry(kind).or_default();
         e.total += elapsed;
         e.invocations += 1;
         e.rows_out += rows_out as u64;
+        e.busy += busy;
+    }
+
+    /// Accumulated output rows for one operator kind (0 when unseen).
+    pub fn rows_out(&self, kind: OperatorKind) -> u64 {
+        self.map.lock().get(&kind).map_or(0, |s| s.rows_out)
     }
 
     /// A snapshot of all accumulated stats, sorted by kind.

@@ -23,17 +23,9 @@ pub enum Statement {
     /// `INSERT INTO name SELECT ...`.
     InsertSelect { table: String, query: Query },
     /// `UPDATE name SET col = expr [, ...] [WHERE pred]`.
-    Update {
-        table: String,
-        assignments: Vec<(String, Expr)>,
-        predicate: Option<Expr>,
-    },
+    Update { table: String, assignments: Vec<(String, Expr)>, predicate: Option<Expr> },
     /// `DROP TABLE|VIEW [IF EXISTS] name`.
-    Drop {
-        kind: ObjectKind,
-        name: String,
-        if_exists: bool,
-    },
+    Drop { kind: ObjectKind, name: String, if_exists: bool },
     /// `CREATE INDEX ON table (column)` — builds a hash index (the paper
     /// indexes MatrixID/OrderID/KernelID).
     CreateIndex { table: String, column: String },
@@ -122,28 +114,16 @@ pub struct OrderByItem {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// `name` or `qualifier.name`.
-    Column {
-        qualifier: Option<String>,
-        name: String,
-    },
+    Column { qualifier: Option<String>, name: String },
     /// A literal.
     Literal(Literal),
     /// Unary operator application.
     Unary { op: UnaryOp, expr: Box<Expr> },
     /// Binary operator application.
-    Binary {
-        left: Box<Expr>,
-        op: BinOp,
-        right: Box<Expr>,
-    },
+    Binary { left: Box<Expr>, op: BinOp, right: Box<Expr> },
     /// Function call: scalar built-in, aggregate, or UDF. `distinct` and
     /// `star` cover `COUNT(DISTINCT x)` / `COUNT(*)`.
-    Function {
-        name: String,
-        args: Vec<Expr>,
-        star: bool,
-        distinct: bool,
-    },
+    Function { name: String, args: Vec<Expr>, star: bool, distinct: bool },
     /// A parenthesized scalar subquery.
     Subquery(Box<Query>),
 }
@@ -190,10 +170,7 @@ impl Expr {
 
     /// Convenience constructor for a qualified column reference.
     pub fn qcol(qualifier: &str, name: &str) -> Expr {
-        Expr::Column {
-            qualifier: Some(qualifier.to_string()),
-            name: name.to_string(),
-        }
+        Expr::Column { qualifier: Some(qualifier.to_string()), name: name.to_string() }
     }
 
     /// Builds `left op right`.
@@ -279,7 +256,12 @@ mod tests {
     #[test]
     fn any_finds_functions() {
         let e = Expr::binary(
-            Expr::Function { name: "f".into(), args: vec![Expr::col("x")], star: false, distinct: false },
+            Expr::Function {
+                name: "f".into(),
+                args: vec![Expr::col("x")],
+                star: false,
+                distinct: false,
+            },
             BinOp::Eq,
             Expr::Literal(Literal::Int(1)),
         );

@@ -171,10 +171,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Number(sql[start..i].to_string()),
-                    offset,
-                });
+                tokens.push(Token { kind: TokenKind::Number(sql[start..i].to_string()), offset });
             }
             _ if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -183,10 +180,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 {
                     i += 1;
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Ident(sql[start..i].to_string()),
-                    offset,
-                });
+                tokens.push(Token { kind: TokenKind::Ident(sql[start..i].to_string()), offset });
             }
             other => {
                 return Err(Error::Parse {
@@ -234,11 +228,7 @@ mod tests {
     fn qualified_column_is_three_tokens() {
         assert_eq!(
             kinds("t1.c"),
-            vec![
-                TokenKind::Ident("t1".into()),
-                TokenKind::Dot,
-                TokenKind::Ident("c".into()),
-            ]
+            vec![TokenKind::Ident("t1".into()), TokenKind::Dot, TokenKind::Ident("c".into()),]
         );
     }
 
@@ -258,6 +248,9 @@ mod tests {
 
     #[test]
     fn line_comments_are_skipped() {
-        assert_eq!(kinds("1 -- comment\n2"), vec![TokenKind::Number("1".into()), TokenKind::Number("2".into())]);
+        assert_eq!(
+            kinds("1 -- comment\n2"),
+            vec![TokenKind::Number("1".into()), TokenKind::Number("2".into())]
+        );
     }
 }

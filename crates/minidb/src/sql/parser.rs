@@ -208,14 +208,26 @@ impl Parser {
         let name = self.ident()?;
         if self.eat_kw("as") {
             let query = self.maybe_parenthesized_query()?;
-            return Ok(Statement::CreateTable { name, temp, if_not_exists, columns: vec![], as_query: Some(query) });
+            return Ok(Statement::CreateTable {
+                name,
+                temp,
+                if_not_exists,
+                columns: vec![],
+                as_query: Some(query),
+            });
         }
         self.expect(&TokenKind::LParen)?;
         // The paper's `CREATE TEMP TABLE t ( SELECT ... )` form.
         if self.at_kw("select") {
             let query = self.query()?;
             self.expect(&TokenKind::RParen)?;
-            return Ok(Statement::CreateTable { name, temp, if_not_exists, columns: vec![], as_query: Some(query) });
+            return Ok(Statement::CreateTable {
+                name,
+                temp,
+                if_not_exists,
+                columns: vec![],
+                as_query: Some(query),
+            });
         }
         let mut columns = Vec::new();
         loop {
@@ -322,9 +334,7 @@ impl Parser {
                     // Implicit alias: a bare identifier that is not a clause
                     // keyword.
                     match self.peek() {
-                        Some(TokenKind::Ident(s))
-                            if !is_clause_keyword(s) =>
-                        {
+                        Some(TokenKind::Ident(s)) if !is_clause_keyword(s) => {
                             let a = s.clone();
                             self.pos += 1;
                             Some(a)
@@ -384,10 +394,10 @@ impl Parser {
 
         let limit = if self.eat_kw("limit") {
             match self.bump() {
-                Some(TokenKind::Number(n)) => Some(
-                    n.parse::<u64>()
-                        .map_err(|_| Error::Parse { message: format!("bad LIMIT '{n}'"), offset: self.offset() })?,
-                ),
+                Some(TokenKind::Number(n)) => Some(n.parse::<u64>().map_err(|_| Error::Parse {
+                    message: format!("bad LIMIT '{n}'"),
+                    offset: self.offset(),
+                })?),
                 _ => return self.err("expected a number after LIMIT"),
             }
         } else {
@@ -433,7 +443,9 @@ impl Parser {
             Some(self.ident()?)
         } else {
             match self.peek() {
-                Some(TokenKind::Ident(s)) if !RESERVED_AFTER_TABLE.contains(&s.to_ascii_lowercase().as_str()) => {
+                Some(TokenKind::Ident(s))
+                    if !RESERVED_AFTER_TABLE.contains(&s.to_ascii_lowercase().as_str()) =>
+                {
                     let a = s.clone();
                     self.pos += 1;
                     Some(a)
@@ -520,10 +532,10 @@ impl Parser {
                 }
             }
             self.expect(&TokenKind::RParen)?;
-            let any = alts
-                .into_iter()
-                .reduce(|a, b| Expr::binary(a, BinOp::Or, b))
-                .ok_or_else(|| Error::Parse { message: "empty IN list".into(), offset: self.offset() })?;
+            let any =
+                alts.into_iter().reduce(|a, b| Expr::binary(a, BinOp::Or, b)).ok_or_else(|| {
+                    Error::Parse { message: "empty IN list".into(), offset: self.offset() }
+                })?;
             return Ok(if negated {
                 Expr::Unary { op: UnaryOp::Not, expr: Box::new(any) }
             } else {
@@ -597,14 +609,16 @@ impl Parser {
             Some(TokenKind::Number(n)) => {
                 self.pos += 1;
                 if n.contains('.') || n.contains('e') || n.contains('E') {
-                    let v: f64 = n
-                        .parse()
-                        .map_err(|_| Error::Parse { message: format!("bad number '{n}'"), offset: self.offset() })?;
+                    let v: f64 = n.parse().map_err(|_| Error::Parse {
+                        message: format!("bad number '{n}'"),
+                        offset: self.offset(),
+                    })?;
                     Ok(Expr::Literal(Literal::Float(v)))
                 } else {
-                    let v: i64 = n
-                        .parse()
-                        .map_err(|_| Error::Parse { message: format!("bad number '{n}'"), offset: self.offset() })?;
+                    let v: i64 = n.parse().map_err(|_| Error::Parse {
+                        message: format!("bad number '{n}'"),
+                        offset: self.offset(),
+                    })?;
                     Ok(Expr::Literal(Literal::Int(v)))
                 }
             }
@@ -633,14 +647,20 @@ impl Parser {
                     return Ok(Expr::Literal(Literal::Bool(false)));
                 }
                 if is_reserved_word(&word) {
-                    return self.err(format!("unexpected keyword {} in expression", word.to_uppercase()));
+                    return self
+                        .err(format!("unexpected keyword {} in expression", word.to_uppercase()));
                 }
                 self.pos += 1;
                 // Function call?
                 if self.eat(&TokenKind::LParen) {
                     if self.eat(&TokenKind::Star) {
                         self.expect(&TokenKind::RParen)?;
-                        return Ok(Expr::Function { name: word, args: vec![], star: true, distinct: false });
+                        return Ok(Expr::Function {
+                            name: word,
+                            args: vec![],
+                            star: true,
+                            distinct: false,
+                        });
                     }
                     let distinct = self.eat_kw("distinct");
                     let mut args = Vec::new();
@@ -672,9 +692,28 @@ impl Parser {
 fn is_reserved_word(word: &str) -> bool {
     matches!(
         word.to_ascii_lowercase().as_str(),
-        "select" | "from" | "where" | "group" | "having" | "order" | "limit" | "by" | "on"
-            | "inner" | "join" | "as" | "set" | "values" | "into" | "union" | "create" | "insert"
-            | "update" | "drop" | "table" | "view"
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "having"
+            | "order"
+            | "limit"
+            | "by"
+            | "on"
+            | "inner"
+            | "join"
+            | "as"
+            | "set"
+            | "values"
+            | "into"
+            | "union"
+            | "create"
+            | "insert"
+            | "update"
+            | "drop"
+            | "table"
+            | "view"
     )
 }
 
@@ -710,7 +749,9 @@ mod tests {
                      SELECT MatrixID as TupleID, SUM(A.Value * B.Value) as Value \
                      FROM FeatureMap A INNER JOIN Kernel B ON A.OrderID = B.OrderID \
                      GROUP BY KernelID, MatrixID)";
-        let Statement::CreateTable { name, temp, as_query: Some(q), .. } = parse_statement(sql).unwrap() else {
+        let Statement::CreateTable { name, temp, as_query: Some(q), .. } =
+            parse_statement(sql).unwrap()
+        else {
             panic!("expected CREATE TABLE AS");
         };
         assert_eq!(name, "Layer_Output");
@@ -724,9 +765,7 @@ mod tests {
         // Paper Q4's batch-normalization statement shape.
         let sql = "SELECT MatrixID, ((Value - (SELECT AVG(Value) FROM t)) / \
                    ((SELECT stddevSamp(Value) FROM t) + 0.00005)) as Value FROM t";
-        let Statement::Query(q) = parse_statement(sql).unwrap() else {
-            panic!()
-        };
+        let Statement::Query(q) = parse_statement(sql).unwrap() else { panic!() };
         let SelectItem::Expr { expr, alias } = &q.projections[1] else { panic!() };
         assert_eq!(alias.as_deref(), Some("Value"));
         assert!(expr.any(&|e| matches!(e, Expr::Subquery(_))));
@@ -735,7 +774,8 @@ mod tests {
     #[test]
     fn parses_update_relu() {
         let sql = "UPDATE cb_output SET Value = 0 where Value < 0";
-        let Statement::Update { table, assignments, predicate } = parse_statement(sql).unwrap() else {
+        let Statement::Update { table, assignments, predicate } = parse_statement(sql).unwrap()
+        else {
             panic!()
         };
         assert_eq!(table, "cb_output");
@@ -788,7 +828,8 @@ mod tests {
 
     #[test]
     fn group_order_limit_having() {
-        let sql = "SELECT k, sum(v) s FROM t GROUP BY k HAVING sum(v) > 1 ORDER BY s DESC, k LIMIT 10";
+        let sql =
+            "SELECT k, sum(v) s FROM t GROUP BY k HAVING sum(v) > 1 ORDER BY s DESC, k LIMIT 10";
         let Statement::Query(q) = parse_statement(sql).unwrap() else { panic!() };
         assert_eq!(q.group_by.len(), 1);
         assert!(q.having.is_some());
@@ -827,7 +868,8 @@ mod tests {
 
     #[test]
     fn implicit_aliases_do_not_eat_keywords() {
-        let sql = "SELECT * FROM FABRIC F INNER JOIN Video V ON F.transID = V.transID WHERE F.x > 1";
+        let sql =
+            "SELECT * FROM FABRIC F INNER JOIN Video V ON F.transID = V.transID WHERE F.x > 1";
         let Statement::Query(q) = parse_statement(sql).unwrap() else { panic!() };
         assert_eq!(q.from[0].factor.binding_name(), "F");
         assert_eq!(q.from[0].joins[0].factor.binding_name(), "V");

@@ -38,10 +38,8 @@ pub fn statement_to_sql(stmt: &Statement) -> String {
             format!("INSERT INTO {table} {}", query_to_sql(query))
         }
         Statement::Update { table, assignments, predicate } => {
-            let sets: Vec<String> = assignments
-                .iter()
-                .map(|(c, e)| format!("{c} = {}", expr_to_sql(e)))
-                .collect();
+            let sets: Vec<String> =
+                assignments.iter().map(|(c, e)| format!("{c} = {}", expr_to_sql(e))).collect();
             let mut out = format!("UPDATE {table} SET {}", sets.join(", "));
             if let Some(p) = predicate {
                 out.push_str(&format!(" WHERE {}", expr_to_sql(p)));
@@ -216,8 +214,10 @@ mod tests {
              FROM FABRIC F INNER JOIN Video V ON F.transID = V.transID \
              GROUP BY patternID ORDER BY patternID ASC LIMIT 5",
         );
-        roundtrip("CREATE TEMP TABLE t AS SELECT MatrixID, SUM(a.Value * b.Value) AS Value \
-                   FROM fm a, kernel b WHERE a.OrderID = b.OrderID GROUP BY MatrixID");
+        roundtrip(
+            "CREATE TEMP TABLE t AS SELECT MatrixID, SUM(a.Value * b.Value) AS Value \
+                   FROM fm a, kernel b WHERE a.OrderID = b.OrderID GROUP BY MatrixID",
+        );
         roundtrip("UPDATE cb_output SET Value = 0 WHERE Value < 0");
         roundtrip("INSERT INTO t VALUES (1, 'x''y'), (2, 'z')");
         roundtrip("DROP TABLE IF EXISTS tmp");

@@ -82,11 +82,8 @@ mod tests {
     use crate::value::DataType;
 
     fn t(vals: Vec<i64>) -> Table {
-        Table::new(
-            Schema::new(vec![Field::new("k", DataType::Int64)]),
-            vec![Column::Int64(vals)],
-        )
-        .unwrap()
+        Table::new(Schema::new(vec![Field::new("k", DataType::Int64)]), vec![Column::Int64(vals)])
+            .unwrap()
     }
 
     #[test]

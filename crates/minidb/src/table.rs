@@ -203,6 +203,14 @@ impl Table {
         Table { schema: self.schema.clone(), columns, rows }
     }
 
+    /// A contiguous row range — the executor's morsel unit. Column data is
+    /// copied; the schema is shared.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Table {
+        let rows = range.len();
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.slice(range.clone())).collect();
+        Table { schema: self.schema.clone(), columns, rows }
+    }
+
     /// Gathers rows by index.
     pub fn take(&self, indices: &[usize]) -> Table {
         let columns: Vec<Column> = self.columns.iter().map(|c| c.take(indices)).collect();
@@ -257,7 +265,10 @@ mod tests {
 
     fn sample() -> Table {
         Table::new(
-            Schema::new(vec![Field::new("id", DataType::Int64), Field::new("v", DataType::Float64)]),
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
             vec![Column::Int64(vec![1, 2, 3]), Column::Float64(vec![0.1, 0.2, 0.3])],
         )
         .unwrap()
@@ -268,11 +279,11 @@ mod tests {
         let schema = Schema::new(vec![Field::new("id", DataType::Int64)]);
         assert!(Table::new(schema.clone(), vec![]).is_err());
         assert!(Table::new(schema.clone(), vec![Column::Bool(vec![true])]).is_err());
-        let uneven = Schema::new(vec![
-            Field::new("a", DataType::Int64),
-            Field::new("b", DataType::Int64),
-        ]);
-        assert!(Table::new(uneven, vec![Column::Int64(vec![1]), Column::Int64(vec![1, 2])]).is_err());
+        let uneven =
+            Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::Int64)]);
+        assert!(
+            Table::new(uneven, vec![Column::Int64(vec![1]), Column::Int64(vec![1, 2])]).is_err()
+        );
     }
 
     #[test]
@@ -284,10 +295,8 @@ mod tests {
 
     #[test]
     fn ambiguous_names_are_reported() {
-        let s = Schema::new(vec![
-            Field::new("x", DataType::Int64),
-            Field::new("X", DataType::Int64),
-        ]);
+        let s =
+            Schema::new(vec![Field::new("x", DataType::Int64), Field::new("X", DataType::Int64)]);
         assert!(matches!(s.index_of("x"), Err(Error::Plan(_))));
     }
 

@@ -103,7 +103,10 @@ impl ScalarUdf {
 
     /// Attaches the class-probability histogram (paper Eq. 10). The map
     /// keys are predicted values; probabilities should sum to ~1.
-    pub fn with_class_probabilities(mut self, probs: impl IntoIterator<Item = (Value, f64)>) -> Self {
+    pub fn with_class_probabilities(
+        mut self,
+        probs: impl IntoIterator<Item = (Value, f64)>,
+    ) -> Self {
         self.class_probabilities = Some(probs.into_iter().map(|(v, p)| (v.to_key(), p)).collect());
         self
     }
@@ -111,9 +114,7 @@ impl ScalarUdf {
     /// The selectivity of `udf(x) = value`: `Pr(value)` if a histogram is
     /// attached, else `None` (the optimizer falls back to a default).
     pub fn selectivity_eq(&self, value: &Value) -> Option<f64> {
-        self.class_probabilities
-            .as_ref()
-            .map(|m| m.get(&value.to_key()).copied().unwrap_or(0.0))
+        self.class_probabilities.as_ref().map(|m| m.get(&value.to_key()).copied().unwrap_or(0.0))
     }
 
     /// Invokes the UDF on one row's arguments (with arity check).

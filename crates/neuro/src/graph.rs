@@ -22,19 +22,9 @@ use crate::tensor::Tensor;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Layer {
     /// 2-D convolution. `weight` is `[out_c, in_c, kh, kw]`.
-    Conv2d {
-        weight: Tensor,
-        bias: Option<Vec<f32>>,
-        stride: usize,
-        padding: usize,
-    },
+    Conv2d { weight: Tensor, bias: Option<Vec<f32>>, stride: usize, padding: usize },
     /// Transposed convolution. `weight` is `[in_c, out_c, kh, kw]`.
-    Deconv2d {
-        weight: Tensor,
-        bias: Option<Vec<f32>>,
-        stride: usize,
-        padding: usize,
-    },
+    Deconv2d { weight: Tensor, bias: Option<Vec<f32>>, stride: usize, padding: usize },
     /// Max pooling with a square kernel.
     MaxPool2d { kernel: usize, stride: usize },
     /// Average pooling with a square kernel.
@@ -255,16 +245,12 @@ impl Block {
     /// Number of learned parameters in the block.
     pub fn param_count(&self) -> u64 {
         match self {
-            Block::Residual { body, shortcut } => body
-                .iter()
-                .chain(shortcut.iter())
-                .map(Layer::param_count)
-                .sum(),
-            Block::Dense { branches } => branches
-                .iter()
-                .flat_map(|b| b.iter())
-                .map(Layer::param_count)
-                .sum(),
+            Block::Residual { body, shortcut } => {
+                body.iter().chain(shortcut.iter()).map(Layer::param_count).sum()
+            }
+            Block::Dense { branches } => {
+                branches.iter().flat_map(|b| b.iter()).map(Layer::param_count).sum()
+            }
         }
     }
 }
@@ -285,10 +271,8 @@ mod tests {
     #[test]
     fn identity_block_adds_input_back() {
         // Body doubles values (1x1 conv, weight 2), identity shortcut: out = relu(2x + x).
-        let block = Layer::Block(Block::Residual {
-            body: vec![conv1x1(1, 1, 2.0)],
-            shortcut: vec![],
-        });
+        let block =
+            Layer::Block(Block::Residual { body: vec![conv1x1(1, 1, 2.0)], shortcut: vec![] });
         let x = Tensor::new(vec![1, 1, 2], vec![1.0, -1.0]).unwrap();
         let y = block.apply(&x, None).unwrap();
         assert_eq!(y.data(), &[3.0, 0.0]); // relu(3), relu(-3)

@@ -21,7 +21,12 @@ pub struct Model {
 impl Model {
     /// Builds a model, validating nothing beyond basic invariants; shape
     /// errors surface at forward time with precise context.
-    pub fn new(name: impl Into<String>, input_shape: Vec<usize>, num_classes: usize, layers: Vec<Layer>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        input_shape: Vec<usize>,
+        num_classes: usize,
+        layers: Vec<Layer>,
+    ) -> Self {
         Model { name: name.into(), input_shape, num_classes, layers }
     }
 
@@ -72,10 +77,7 @@ impl Model {
     /// manner"; the DL-serving and UDF strategies both use this entry
     /// point).
     pub fn predict_batch(&self, inputs: &[Tensor], clock: Option<&SimClock>) -> Result<Vec<usize>> {
-        inputs
-            .iter()
-            .map(|t| Ok(self.forward_with_clock(t, clock)?.argmax()))
-            .collect()
+        inputs.iter().map(|t| Ok(self.forward_with_clock(t, clock)?.argmax())).collect()
     }
 }
 
@@ -93,7 +95,8 @@ mod tests {
             vec![
                 Layer::Flatten,
                 Layer::Linear {
-                    weight: Tensor::new(vec![2, 4], vec![1., 1., 1., 1., -1., -1., -1., -1.]).unwrap(),
+                    weight: Tensor::new(vec![2, 4], vec![1., 1., 1., 1., -1., -1., -1., -1.])
+                        .unwrap(),
                     bias: None,
                 },
                 Layer::Softmax,

@@ -18,7 +18,11 @@ use crate::tensor::Tensor;
 ///
 /// Computation: `scores = score_weight · x`, `alpha = softmax(scores)`,
 /// `gated = alpha ⊙ x`, `y = proj_weight · gated`.
-pub fn basic_attention(input: &Tensor, score_weight: &Tensor, proj_weight: &Tensor) -> Result<Tensor> {
+pub fn basic_attention(
+    input: &Tensor,
+    score_weight: &Tensor,
+    proj_weight: &Tensor,
+) -> Result<Tensor> {
     let n = input.len();
     match score_weight.shape() {
         [r, c] if *r == n && *c == n => {}
@@ -32,12 +36,7 @@ pub fn basic_attention(input: &Tensor, score_weight: &Tensor, proj_weight: &Tens
     let flat = input.clone().reshape(vec![n])?;
     let scores = linear(&flat, score_weight, None)?;
     let alpha = softmax(&scores);
-    let gated: Vec<f32> = alpha
-        .data()
-        .iter()
-        .zip(flat.data().iter())
-        .map(|(a, x)| a * x)
-        .collect();
+    let gated: Vec<f32> = alpha.data().iter().zip(flat.data().iter()).map(|(a, x)| a * x).collect();
     linear(&Tensor::vector(&gated), proj_weight, None)
 }
 

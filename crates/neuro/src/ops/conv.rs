@@ -9,12 +9,21 @@
 use crate::error::{Error, Result};
 use crate::tensor::Tensor;
 
+/// Below this much floating-point work a kernel runs inline even when the
+/// process-wide [`taskpool::default_parallelism`] is above one.
+pub(crate) const MIN_PARALLEL_FLOPS: u64 = 32_768;
+
 /// Output spatial dimension of a convolution:
 /// `(in + 2*padding - kernel) / stride + 1` (paper Eq. 3).
 ///
 /// Returns an error when the kernel does not fit the padded input or the
 /// stride does not evenly walk the input (the paper assumes it does).
-pub fn conv_output_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> Result<usize> {
+pub fn conv_output_dim(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<usize> {
     if stride == 0 {
         return Err(Error::InvalidConfig("stride must be positive".into()));
     }
@@ -52,16 +61,28 @@ pub fn conv2d(
     let (out_c, _, kh, kw) = check_weight(weight, in_c)?;
     if let Some(b) = bias {
         if b.len() != out_c {
-            return Err(Error::ShapeMismatch { expected: format!("[{out_c}] bias"), got: vec![b.len()] });
+            return Err(Error::ShapeMismatch {
+                expected: format!("[{out_c}] bias"),
+                got: vec![b.len()],
+            });
         }
     }
     let out_h = conv_output_dim(in_h, kh, stride, padding)?;
     let out_w = conv_output_dim(in_w, kw, stride, padding)?;
 
     let w = weight.data();
-    let mut out = Tensor::zeros(vec![out_c, out_h, out_w]);
-    for oc in 0..out_c {
+    let plane = out_h * out_w;
+    // Output channels are independent (each writes its own plane), so the
+    // per-channel results are bit-identical at any worker count. Tiny
+    // kernels stay inline: thread spawn would dominate the arithmetic.
+    let workers = if conv2d_flops(in_c, out_c, out_h, out_w, kh, kw) >= MIN_PARALLEL_FLOPS {
+        taskpool::default_parallelism()
+    } else {
+        1
+    };
+    let planes = taskpool::run_indexed(workers, out_c, |oc| {
         let bias_v = bias.map_or(0.0, |b| b[oc]);
+        let mut out = vec![0.0f32; plane];
         for oy in 0..out_h {
             for ox in 0..out_w {
                 let mut acc = bias_v;
@@ -82,11 +103,16 @@ pub fn conv2d(
                         }
                     }
                 }
-                *out.at_mut(oc, oy, ox) = acc;
+                out[oy * out_w + ox] = acc;
             }
         }
+        out
+    });
+    let mut data = Vec::with_capacity(out_c * plane);
+    for p in planes {
+        data.extend_from_slice(&p);
     }
-    Ok(out)
+    Tensor::new(vec![out_c, out_h, out_w], data)
 }
 
 /// Floating-point operations performed by [`conv2d`]: two per
@@ -165,7 +191,10 @@ pub fn deconv2d(
     }
     if let Some(b) = bias {
         if b.len() != out_c {
-            return Err(Error::ShapeMismatch { expected: format!("[{out_c}] bias"), got: vec![b.len()] });
+            return Err(Error::ShapeMismatch {
+                expected: format!("[{out_c}] bias"),
+                got: vec![b.len()],
+            });
         }
         #[allow(clippy::needless_range_loop)] // oc indexes both bias and output
         for oc in 0..out_c {
@@ -180,7 +209,14 @@ pub fn deconv2d(
 }
 
 /// Floating-point operations performed by [`deconv2d`].
-pub fn deconv2d_flops(in_c: usize, out_c: usize, in_h: usize, in_w: usize, kh: usize, kw: usize) -> u64 {
+pub fn deconv2d_flops(
+    in_c: usize,
+    out_c: usize,
+    in_h: usize,
+    in_w: usize,
+    kh: usize,
+    kw: usize,
+) -> u64 {
     2 * (in_c * in_h * in_w * out_c * kh * kw) as u64
 }
 
@@ -304,6 +340,30 @@ mod tests {
         assert_eq!(out.at(0, 0, 2), 2.0);
         assert_eq!(out.at(0, 2, 2), 4.0);
         assert_eq!(out.at(0, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn parallel_conv_is_bit_identical_to_serial() {
+        // Big enough to clear MIN_PARALLEL_FLOPS so the pool actually runs.
+        let in_c = 4;
+        let out_c = 8;
+        let input = Tensor::new(
+            vec![in_c, 16, 16],
+            (0..in_c * 16 * 16).map(|i| (i % 13) as f32 * 0.25 - 1.0).collect(),
+        )
+        .unwrap();
+        let weight = Tensor::new(
+            vec![out_c, in_c, 3, 3],
+            (0..out_c * in_c * 9).map(|i| (i % 7) as f32 * 0.5 - 1.5).collect(),
+        )
+        .unwrap();
+        let bias: Vec<f32> = (0..out_c).map(|o| o as f32 * 0.1).collect();
+
+        let serial = conv2d(&input, &weight, Some(&bias), 1, 1).unwrap();
+        taskpool::set_default_parallelism(4);
+        let parallel = conv2d(&input, &weight, Some(&bias), 1, 1).unwrap();
+        taskpool::set_default_parallelism(1);
+        assert_eq!(serial, parallel, "output channels are independent; results must match exactly");
     }
 
     #[test]

@@ -37,15 +37,22 @@ pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Result<T
     }
     let w = weight.data();
     let x = input.data();
-    let mut out = vec![0.0f32; out_dim];
-    for (o, slot) in out.iter_mut().enumerate() {
+    // Each output element is an independent row-vector dot product, so the
+    // result is bit-identical at any worker count. Small layers stay
+    // inline: thread spawn would dominate the arithmetic.
+    let workers = if linear_flops(in_dim, out_dim) >= crate::ops::conv::MIN_PARALLEL_FLOPS {
+        taskpool::default_parallelism()
+    } else {
+        1
+    };
+    let out = taskpool::run_indexed(workers, out_dim, |o| {
         let row = &w[o * in_dim..(o + 1) * in_dim];
         let mut acc = bias.map_or(0.0, |b| b[o]);
         for (wv, xv) in row.iter().zip(x.iter()) {
             acc += wv * xv;
         }
-        *slot = acc;
-    }
+        acc
+    });
     Tensor::new(vec![out_dim], out)
 }
 
@@ -89,6 +96,29 @@ mod tests {
         assert!(linear(&x, &w, None).is_err());
         let x3 = Tensor::vector(&[1.0, 2.0, 3.0]);
         assert!(linear(&x3, &w, Some(&[0.0])).is_err());
+    }
+
+    #[test]
+    fn parallel_linear_is_bit_identical_to_serial() {
+        // 256x128 clears MIN_PARALLEL_FLOPS so the pool actually runs.
+        let (out_dim, in_dim) = (256, 128);
+        let w = Tensor::new(
+            vec![out_dim, in_dim],
+            (0..out_dim * in_dim).map(|i| (i % 11) as f32 * 0.3 - 1.2).collect(),
+        )
+        .unwrap();
+        let x =
+            Tensor::new(vec![in_dim], (0..in_dim).map(|i| (i % 5) as f32 - 2.0).collect()).unwrap();
+        let b: Vec<f32> = (0..out_dim).map(|o| o as f32 * 0.01).collect();
+
+        let serial = linear(&x, &w, Some(&b)).unwrap();
+        taskpool::set_default_parallelism(4);
+        let parallel = linear(&x, &w, Some(&b)).unwrap();
+        taskpool::set_default_parallelism(1);
+        assert_eq!(
+            serial, parallel,
+            "row dot products are independent; results must match exactly"
+        );
     }
 
     #[test]

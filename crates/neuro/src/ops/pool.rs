@@ -10,7 +10,14 @@ use crate::tensor::Tensor;
 /// Shared sliding-window reducer. `init` seeds the accumulator, `fold`
 /// combines it with each window element, and `finish` maps the accumulator
 /// plus window size to the pooled value.
-fn pool2d<F, G>(input: &Tensor, kernel: usize, stride: usize, init: f32, fold: F, finish: G) -> Result<Tensor>
+fn pool2d<F, G>(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    init: f32,
+    fold: F,
+    finish: G,
+) -> Result<Tensor>
 where
     F: Fn(f32, f32) -> f32,
     G: Fn(f32, usize) -> f32,
@@ -79,12 +86,15 @@ mod tests {
 
     #[test]
     fn max_pool_picks_window_maxima() {
-        let input = t(&[1, 4, 4], &[
-            1., 2., 5., 6., //
-            3., 4., 7., 8., //
-            9., 10., 13., 14., //
-            11., 12., 15., 16.,
-        ]);
+        let input = t(
+            &[1, 4, 4],
+            &[
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
         let out = max_pool2d(&input, 2, 2).unwrap();
         assert_eq!(out.shape(), &[1, 2, 2]);
         assert_eq!(out.data(), &[4., 8., 12., 16.]);

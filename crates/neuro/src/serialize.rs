@@ -458,7 +458,12 @@ mod tests {
         use crate::Tensor;
         let t = |shape: Vec<usize>| Tensor::full(shape.clone(), 0.5);
         let layers = vec![
-            Layer::Conv2d { weight: t(vec![2, 1, 3, 3]), bias: Some(vec![0.1, 0.2]), stride: 1, padding: 1 },
+            Layer::Conv2d {
+                weight: t(vec![2, 1, 3, 3]),
+                bias: Some(vec![0.1, 0.2]),
+                stride: 1,
+                padding: 1,
+            },
             Layer::Deconv2d { weight: t(vec![2, 1, 2, 2]), bias: None, stride: 2, padding: 0 },
             Layer::MaxPool2d { kernel: 2, stride: 2 },
             Layer::AvgPool2d { kernel: 3, stride: 1 },

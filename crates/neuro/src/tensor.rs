@@ -119,12 +119,7 @@ impl Tensor {
                 got: other.shape.clone(),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a + b)
-            .collect();
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a + b).collect();
         Ok(Tensor { shape: self.shape.clone(), data })
     }
 

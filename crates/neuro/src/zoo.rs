@@ -32,10 +32,18 @@ fn he_uniform(rng: &mut StdRng, fan_in: usize, n: usize) -> Vec<f32> {
 }
 
 /// A 3×3 (or `k`×`k`) convolution layer with He-uniform weights.
-pub fn conv_layer(rng: &mut StdRng, in_c: usize, out_c: usize, k: usize, stride: usize, padding: usize) -> Layer {
+pub fn conv_layer(
+    rng: &mut StdRng,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+) -> Layer {
     let fan_in = in_c * k * k;
-    let weight = Tensor::new(vec![out_c, in_c, k, k], he_uniform(rng, fan_in, out_c * in_c * k * k))
-        .expect("weight shape/data constructed consistently");
+    let weight =
+        Tensor::new(vec![out_c, in_c, k, k], he_uniform(rng, fan_in, out_c * in_c * k * k))
+            .expect("weight shape/data constructed consistently");
     Layer::Conv2d { weight, bias: None, stride, padding }
 }
 

@@ -1,0 +1,148 @@
+//! Hermetic stand-in for the `criterion` crate (API subset).
+//!
+//! Implements `Criterion::bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros. Each
+//! benchmark runs a short warm-up, then `sample_size` timed samples, and
+//! prints the median per-iteration time — enough to compare runs by hand
+//! without statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted, not used for sizing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), budget: self.measurement_time, rounds: self.sample_size };
+        f(&mut b);
+        b.samples.sort();
+        let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or_default();
+        println!("bench: {name:<40} median {:>12.3} µs ({} samples)", median.as_secs_f64() * 1e6, b.samples.len());
+        self
+    }
+}
+
+/// Per-benchmark timing context.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    rounds: usize,
+}
+
+impl Bencher {
+    /// Times a routine, one sample per call batch.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + per-sample iteration count so fast routines are timed
+        // over many calls.
+        let warm = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm.elapsed() < self.budget / 10 || warm_iters < 1 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1000 {
+                break;
+            }
+        }
+        let per_sample = warm_iters.max(1);
+        for _ in 0..self.rounds {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / per_sample);
+        }
+    }
+
+    /// Times a routine over inputs built by `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.rounds {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group as a callable function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| x * 2, BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,201 @@
+//! Hermetic stand-in for the `serde_json` crate (API subset).
+//!
+//! The bench harnesses only *emit* JSON records (one line per data point),
+//! so this provides a [`Value`] tree, the [`json!`] constructor macro over
+//! flat literals, `Display` rendering with proper string escaping, and
+//! string-keyed `Index`/`IndexMut` with object auto-insertion. No parsing,
+//! no serde integration.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (held as `f64`; the harness values are small).
+    Number(f64),
+    /// A JSON string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object; `None` for non-objects/missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+macro_rules! number_from {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(v as f64)
+            }
+        }
+
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Self {
+                Value::Number(*v as f64)
+            }
+        }
+    )*};
+}
+
+number_from!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+fn escape_into(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) if n.is_finite() => write!(f, "{n}"),
+            Value::Number(_) => f.write_str("null"),
+            Value::String(s) => escape_into(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_into(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Vec::new());
+        }
+        let Value::Object(pairs) = self else {
+            panic!("cannot index non-object JSON value with a string key");
+        };
+        if let Some(pos) = pairs.iter().position(|(k, _)| k == key) {
+            &mut pairs[pos].1
+        } else {
+            pairs.push((key.to_string(), Value::Null));
+            &mut pairs.last_mut().expect("just pushed").1
+        }
+    }
+}
+
+impl Index<String> for Value {
+    type Output = Value;
+
+    fn index(&self, key: String) -> &Value {
+        &self[key.as_str()]
+    }
+}
+
+impl IndexMut<String> for Value {
+    fn index_mut(&mut self, key: String) -> &mut Value {
+        self.index_mut(key.as_str())
+    }
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal. Object values and array
+/// elements may be arbitrary expressions (converted via `Into<Value>`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::Value::from($val)) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_indexes() {
+        let mut v = json!({"a": 1, "b": "x\"y", "c": 2.5, "d": true});
+        v["e"] = json!(7usize);
+        v[format!("f_{}", 1)] = json!("z");
+        assert_eq!(
+            v.to_string(),
+            r#"{"a":1,"b":"x\"y","c":2.5,"d":true,"e":7,"f_1":"z"}"#
+        );
+        assert_eq!(json!([1, 2]).to_string(), "[1,2]");
+        assert_eq!(json!(null).to_string(), "null");
+    }
+}

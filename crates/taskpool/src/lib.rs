@@ -1,0 +1,155 @@
+//! Scoped worker pool shared by `minidb`'s morsel-driven executor and
+//! `neuro`'s conv/linear output-channel loops.
+//!
+//! The pool is `std::thread::scope`-based: each parallel region spawns up
+//! to `workers - 1` helper threads that pull task indices from a shared
+//! atomic counter (work stealing over a fixed task list) while the calling
+//! thread works too, and joins them before returning. Results come back in
+//! task order, so any operator that concatenates per-morsel outputs in
+//! index order is deterministic regardless of scheduling.
+//!
+//! A process-wide default parallelism knob lets embedders (the collab
+//! strategies, the bench harnesses) turn on kernel parallelism without
+//! threading a configuration value through every call site; it defaults to
+//! `1`, which runs every region inline on the calling thread.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static DEFAULT_PARALLELISM: AtomicUsize = AtomicUsize::new(1);
+
+/// The process-wide default worker count consulted by kernels that have no
+/// per-call configuration (e.g. `neuro`'s conv loops). Starts at `1`.
+pub fn default_parallelism() -> usize {
+    DEFAULT_PARALLELISM.load(Ordering::Relaxed)
+}
+
+/// Sets the process-wide default worker count. `0` is clamped to `1`.
+pub fn set_default_parallelism(workers: usize) {
+    DEFAULT_PARALLELISM.store(workers.max(1), Ordering::Relaxed);
+}
+
+/// The hardware thread count, with a fallback of 1.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `0..n` into ranges of at most `chunk` elements (the executor's
+/// morsels, a kernel's output-channel blocks). `chunk == 0` is clamped
+/// to 1; `n == 0` yields no ranges.
+pub fn split_ranges(n: usize, chunk: usize) -> Vec<Range<usize>> {
+    let chunk = chunk.max(1);
+    let mut out = Vec::with_capacity(n.div_ceil(chunk));
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Runs `f(0), f(1), ..., f(tasks - 1)` on up to `workers` threads and
+/// returns the results in task order.
+///
+/// With `workers <= 1` or fewer than two tasks everything runs inline on
+/// the calling thread, in index order — the bit-for-bit reference path.
+/// Otherwise scoped threads pull indices from a shared counter; a panic in
+/// any task propagates to the caller after the scope joins.
+pub fn run_indexed<T, F>(workers: usize, tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || tasks <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let threads = workers.min(tasks);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= tasks {
+            break;
+        }
+        let value = f(i);
+        *slots[i].lock().expect("result slot poisoned") = Some(value);
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..threads {
+            scope.spawn(work);
+        }
+        work();
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task index was claimed and completed")
+        })
+        .collect()
+}
+
+/// [`run_indexed`] over explicit ranges: runs `f` once per range, in
+/// parallel, returning results in range order.
+pub fn run_ranges<T, F>(workers: usize, ranges: &[Range<usize>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    run_indexed(workers, ranges.len(), |i| f(ranges[i].clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_in_order() {
+        assert_eq!(split_ranges(0, 4), vec![]);
+        assert_eq!(split_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(split_ranges(4, 4), vec![0..4]);
+        assert_eq!(split_ranges(3, 0), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn run_indexed_preserves_task_order() {
+        for workers in [1, 2, 8] {
+            let out = run_indexed(workers, 37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_ranges_matches_sequential() {
+        let ranges = split_ranges(1000, 64);
+        let serial: Vec<usize> = ranges.iter().map(|r| r.clone().sum()).collect();
+        let parallel = run_ranges(4, &ranges, |r| r.sum::<usize>());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn default_parallelism_roundtrip() {
+        assert!(default_parallelism() >= 1);
+        set_default_parallelism(3);
+        assert_eq!(default_parallelism(), 3);
+        set_default_parallelism(0);
+        assert_eq!(default_parallelism(), 1);
+        set_default_parallelism(1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            run_indexed(4, 8, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

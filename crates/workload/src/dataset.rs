@@ -11,7 +11,7 @@
 
 use collab::tensor_to_blob;
 use minidb::value::parse_date;
-use minidb::{Column, Database, DataType, Field, Result, Schema, Table};
+use minidb::{Column, DataType, Database, Field, Result, Schema, Table};
 use neuro::Tensor;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -39,12 +39,7 @@ pub struct DatasetConfig {
 
 impl Default for DatasetConfig {
     fn default() -> Self {
-        DatasetConfig {
-            video_rows: 2000,
-            keyframe_shape: vec![1, 12, 12],
-            patterns: 8,
-            seed: 2021,
-        }
+        DatasetConfig { video_rows: 2000, keyframe_shape: vec![1, 12, 12], patterns: 8, seed: 2021 }
     }
 }
 
@@ -100,7 +95,9 @@ pub fn build_dataset(db: &Database, config: &DatasetConfig) -> Result<DatasetSum
         vec![
             Column::Int64((0..client_rows as i64).collect()),
             Column::Utf8((0..client_rows).map(|i| format!("client_{i}")).collect()),
-            Column::Utf8((0..client_rows).map(|i| regions[i % regions.len()].to_string()).collect()),
+            Column::Utf8(
+                (0..client_rows).map(|i| regions[i % regions.len()].to_string()).collect(),
+            ),
         ],
     )?;
     db.catalog().create_table("client", client, true)?;
@@ -134,8 +131,12 @@ pub fn build_dataset(db: &Database, config: &DatasetConfig) -> Result<DatasetSum
         ]),
         vec![
             Column::Int64((0..order_rows as i64).collect()),
-            Column::Int64((0..order_rows).map(|_| rng.random_range(0..client_rows as i64)).collect()),
-            Column::Date((0..order_rows).map(|_| epoch + rng.random_range(0..DATE_SPAN_DAYS)).collect()),
+            Column::Int64(
+                (0..order_rows).map(|_| rng.random_range(0..client_rows as i64)).collect(),
+            ),
+            Column::Date(
+                (0..order_rows).map(|_| epoch + rng.random_range(0..DATE_SPAN_DAYS)).collect(),
+            ),
             Column::Int64((0..order_rows).map(|_| rng.random_range(1..500)).collect()),
         ],
     )?;
@@ -161,7 +162,9 @@ pub fn build_dataset(db: &Database, config: &DatasetConfig) -> Result<DatasetSum
         ]),
         vec![
             Column::Int64((0..fabric_rows as i64).collect()),
-            Column::Int64((0..fabric_rows).map(|_| rng.random_range(0..config.patterns as i64)).collect()),
+            Column::Int64(
+                (0..fabric_rows).map(|_| rng.random_range(0..config.patterns as i64)).collect(),
+            ),
             Column::Float64((0..fabric_rows).map(|_| rng.random_range(0.5..30.0)).collect()),
             Column::Date(fabric_dates.clone()),
             // Humidity is exactly uniform but *permuted* relative to the
@@ -174,12 +177,18 @@ pub fn build_dataset(db: &Database, config: &DatasetConfig) -> Result<DatasetSum
                     .find(|p| gcd(*p, fabric_rows) == 1)
                     .unwrap_or(1);
                 (0..fabric_rows)
-                    .map(|i| 50.0 + 50.0 * ((i * p % fabric_rows) as f64 + 0.5) / fabric_rows as f64)
+                    .map(|i| {
+                        50.0 + 50.0 * ((i * p % fabric_rows) as f64 + 0.5) / fabric_rows as f64
+                    })
                     .collect()
             }),
             Column::Float64((0..fabric_rows).map(|_| rng.random_range(20.0..45.0)).collect()),
-            Column::Int64((0..fabric_rows).map(|_| rng.random_range(0..order_rows as i64)).collect()),
-            Column::Int64((0..fabric_rows).map(|_| rng.random_range(0..device_rows as i64)).collect()),
+            Column::Int64(
+                (0..fabric_rows).map(|_| rng.random_range(0..order_rows as i64)).collect(),
+            ),
+            Column::Int64(
+                (0..fabric_rows).map(|_| rng.random_range(0..device_rows as i64)).collect(),
+            ),
         ],
     )?;
     db.catalog().create_table("fabric", fabric, true)?;
@@ -238,7 +247,8 @@ mod tests {
     #[test]
     fn ratio_follows_the_paper() {
         let db = Database::new();
-        let s = build_dataset(&db, &DatasetConfig { video_rows: 1000, ..Default::default() }).unwrap();
+        let s =
+            build_dataset(&db, &DatasetConfig { video_rows: 1000, ..Default::default() }).unwrap();
         assert_eq!(s.video_rows, 1000);
         assert_eq!(s.fabric_rows, 100);
         assert_eq!(s.client_rows, 10);

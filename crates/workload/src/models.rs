@@ -35,18 +35,12 @@ pub struct RepoConfig {
 
 impl Default for RepoConfig {
     fn default() -> Self {
-        RepoConfig {
-            keyframe_shape: vec![1, 12, 12],
-            patterns: 8,
-            histogram_samples: 64,
-            seed: 7,
-        }
+        RepoConfig { keyframe_shape: vec![1, 12, 12], patterns: 8, histogram_samples: 64, seed: 7 }
     }
 }
 
 const CLOTH_LABELS: [&str; 5] = ["shirt", "dress", "trouser", "coat", "scarf"];
-const PATTERN_LABELS: [&str; 6] =
-    ["Floral Pattern", "Stripe", "Dots", "Plaid", "Paisley", "Solid"];
+const PATTERN_LABELS: [&str; 6] = ["Floral Pattern", "Stripe", "Dots", "Plaid", "Paisley", "Solid"];
 const TYPE_LABELS: [&str; 4] = ["cotton", "silk", "linen", "wool"];
 
 /// Builds the 20-model repository (5 task families × 4 variants).
@@ -64,12 +58,13 @@ pub fn build_repo(config: &RepoConfig) -> Arc<ModelRepo> {
         .map(|i| keyframe(&config.keyframe_shape, config.seed ^ 0xABCD, i))
         .collect();
 
-    let register = |name: String, classes: usize, output_for: &dyn Fn() -> NudfOutput, seed: u64| {
-        let model = Arc::new(zoo::student(config.keyframe_shape.clone(), classes, seed));
-        let class_probs =
-            dl2sql::hints::histogram_from_model(&model, &samples).expect("histogram over valid samples");
-        repo.register(NudfSpec::new(name, model, output_for(), class_probs));
-    };
+    let register =
+        |name: String, classes: usize, output_for: &dyn Fn() -> NudfOutput, seed: u64| {
+            let model = Arc::new(zoo::student(config.keyframe_shape.clone(), classes, seed));
+            let class_probs = dl2sql::hints::histogram_from_model(&model, &samples)
+                .expect("histogram over valid samples");
+            repo.register(NudfSpec::new(name, model, output_for(), class_probs));
+        };
 
     for v in 0..4 {
         let suffix = if v == 0 { String::new() } else { format!("_v{v}") };
@@ -82,7 +77,9 @@ pub fn build_repo(config: &RepoConfig) -> Arc<ModelRepo> {
         register(
             format!("nUDF_classify{suffix}"),
             PATTERN_LABELS.len(),
-            &|| NudfOutput::Label { labels: PATTERN_LABELS.iter().map(|s| s.to_string()).collect() },
+            &|| NudfOutput::Label {
+                labels: PATTERN_LABELS.iter().map(|s| s.to_string()).collect(),
+            },
             config.seed + 200 + v,
         );
         register(
@@ -130,8 +127,8 @@ pub fn conditional_detect_spec(config: &RepoConfig) -> NudfSpec {
         m.name = "student_cond_high".into();
         m
     });
-    let class_probs = dl2sql::hints::histogram_from_model(&base, &samples)
-        .expect("histogram over valid samples");
+    let class_probs =
+        dl2sql::hints::histogram_from_model(&base, &samples).expect("histogram over valid samples");
     let mut spec = NudfSpec::new(
         "nUDF_detect_cond",
         Arc::clone(&base),
@@ -149,17 +146,13 @@ pub fn conditional_detect_spec(config: &RepoConfig) -> NudfSpec {
 /// A ResNet-family detect nUDF for the model-depth experiments (paper
 /// Tables IV and VI): `nUDF_detect_resnet{depth}`.
 pub fn resnet_spec(depth: usize, config: &RepoConfig) -> NudfSpec {
-    let model: Arc<Model> = Arc::new(zoo::resnet(
-        depth,
-        config.keyframe_shape.clone(),
-        2,
-        config.seed + depth as u64,
-    ));
+    let model: Arc<Model> =
+        Arc::new(zoo::resnet(depth, config.keyframe_shape.clone(), 2, config.seed + depth as u64));
     let samples: Vec<Tensor> = (0..config.histogram_samples as u64)
         .map(|i| keyframe(&config.keyframe_shape, config.seed ^ 0xABCD, i))
         .collect();
-    let class_probs =
-        dl2sql::hints::histogram_from_model(&model, &samples).expect("histogram over valid samples");
+    let class_probs = dl2sql::hints::histogram_from_model(&model, &samples)
+        .expect("histogram over valid samples");
     NudfSpec::new(
         format!("nUDF_detect_resnet{depth}"),
         model,
@@ -196,7 +189,11 @@ mod tests {
 
     #[test]
     fn resnet_specs_scale_with_depth() {
-        let cfg = RepoConfig { keyframe_shape: vec![1, 8, 8], histogram_samples: 8, ..Default::default() };
+        let cfg = RepoConfig {
+            keyframe_shape: vec![1, 8, 8],
+            histogram_samples: 8,
+            ..Default::default()
+        };
         let shallow = resnet_spec(5, &cfg);
         let deep = resnet_spec(20, &cfg);
         assert!(deep.model.param_count() > shallow.model.param_count());

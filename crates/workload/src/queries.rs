@@ -10,7 +10,9 @@ use collab::QueryType;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::dataset::{date_upper_bound_for_selectivity, humidity_threshold_for_selectivity, DATE_EPOCH};
+use crate::dataset::{
+    date_upper_bound_for_selectivity, humidity_threshold_for_selectivity, DATE_EPOCH,
+};
 
 /// One generated benchmark query.
 #[derive(Debug, Clone)]

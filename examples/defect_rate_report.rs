@@ -29,7 +29,8 @@ fn main() {
     });
     let engine = CollabEngine::new(db, repo);
 
-    let sql = "SELECT patternID, count(nUDF_detect(V.keyframe) = TRUE) / sum(meter) AS defect_rate \
+    let sql =
+        "SELECT patternID, count(nUDF_detect(V.keyframe) = TRUE) / sum(meter) AS defect_rate \
                FROM fabric F, video V \
                WHERE F.printdate >= '2021-01-01' and F.printdate < '2021-04-01' \
                and F.transID = V.transID \

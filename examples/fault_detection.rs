@@ -58,7 +58,10 @@ fn main() {
         classify_sql(sql, engine.repo()).expect("classifies")
     );
 
-    println!("\n{:<12} {:>10} {:>10} {:>10} {:>8}", "strategy", "load(ms)", "infer(ms)", "rel(ms)", "rows");
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>10} {:>8}",
+        "strategy", "load(ms)", "infer(ms)", "rel(ms)", "rows"
+    );
     let mut reference: Option<Vec<String>> = None;
     for kind in StrategyKind::all() {
         let out = engine.execute(sql, kind).expect("strategy runs");

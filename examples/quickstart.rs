@@ -30,11 +30,9 @@ fn main() {
     println!("  {}\n", conv1.statements[0]);
 
     // 3. Run one keyframe through the SQL program.
-    let input = Tensor::new(
-        vec![1, 12, 12],
-        (0..144).map(|i| ((i % 13) as f32 / 6.5) - 1.0).collect(),
-    )
-    .expect("valid tensor");
+    let input =
+        Tensor::new(vec![1, 12, 12], (0..144).map(|i| ((i % 13) as f32 / 6.5) - 1.0).collect())
+            .expect("valid tensor");
     let runner = Runner::new(Arc::clone(&db), Arc::clone(&registry), Arc::clone(&compiled))
         .expect("runner builds");
     let outcome = runner.infer(&input).expect("inference runs");

@@ -15,7 +15,7 @@
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
-use minidb::{Database, DataType, ScalarUdf};
+use minidb::{DataType, Database, ScalarUdf};
 use workload::{build_dataset, build_repo, DatasetConfig, RepoConfig};
 
 fn main() {
@@ -34,12 +34,18 @@ fn main() {
         let output = spec.output.clone();
         let model = Arc::clone(&spec.model);
         db.register_udf(
-            ScalarUdf::new(&spec.name, vec![DataType::Blob], spec.output.data_type(), move |args| {
-                let tensor = collab::blob_to_tensor(&args[0])
-                    .map_err(|e| minidb::Error::Exec(e.to_string()))?;
-                let out = model.forward(&tensor).map_err(|e| minidb::Error::Exec(e.to_string()))?;
-                Ok(output.to_value(out.argmax()))
-            })
+            ScalarUdf::new(
+                &spec.name,
+                vec![DataType::Blob],
+                spec.output.data_type(),
+                move |args| {
+                    let tensor = collab::blob_to_tensor(&args[0])
+                        .map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                    let out =
+                        model.forward(&tensor).map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                    Ok(output.to_value(out.argmax()))
+                },
+            )
             .with_cost(spec.model.param_count() as f64)
             .with_class_probabilities(spec.output.value_histogram(&spec.class_probs)),
         );
@@ -92,18 +98,21 @@ fn main() {
             }
             _ => {}
         }
-        let started = std::time::Instant::now();
         match db.execute(line.trim_end_matches(';')) {
             Ok(result) => {
                 let t = result.table();
                 if t.num_columns() > 0 {
+                    let header: Vec<String> = result
+                        .column_names()
+                        .iter()
+                        .zip(result.column_types())
+                        .map(|(n, ty)| format!("{n}:{ty:?}"))
+                        .collect();
+                    println!("-- {}", header.join("  "));
                     print!("{}", t.to_display_string());
                 }
-                println!(
-                    "({} rows, {:.1} ms)",
-                    result.rows_affected(),
-                    started.elapsed().as_secs_f64() * 1e3
-                );
+                // Timing and scan volume come stamped on the result itself.
+                println!("({})", result.summary());
             }
             Err(e) => println!("error: {e}"),
         }

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use minidb::{Database, DataType, ScalarUdf, Value};
+use minidb::{DataType, Database, ScalarUdf, Value};
 
 #[test]
 fn concurrent_readers_and_writers() {
@@ -74,9 +74,7 @@ fn concurrent_udf_queries() {
         let db = Arc::clone(&db);
         handles.push(std::thread::spawn(move || {
             for _ in 0..50 {
-                let out = db
-                    .execute("SELECT count(*) FROM t WHERE slow_mod(v) = 3")
-                    .unwrap();
+                let out = db.execute("SELECT count(*) FROM t WHERE slow_mod(v) = 3").unwrap();
                 let n = out.table().column(0).i64_at(0);
                 assert!(n <= 200);
             }
@@ -99,8 +97,7 @@ fn concurrent_dl2sql_inference_on_separate_databases() {
             let model = neuro::zoo::student(vec![1, 8, 8], 3, seed);
             let compiled =
                 Arc::new(dl2sql::compile_model(&db, &registry, &model).expect("compiles"));
-            let runner =
-                dl2sql::Runner::new(Arc::clone(&db), registry, compiled).expect("runner");
+            let runner = dl2sql::Runner::new(Arc::clone(&db), registry, compiled).expect("runner");
             let input = neuro::Tensor::full(vec![1, 8, 8], 0.25);
             let expected = model.predict(&input).expect("reference");
             for _ in 0..5 {
@@ -112,4 +109,175 @@ fn concurrent_dl2sql_inference_on_separate_databases() {
     for h in handles {
         h.join().expect("no thread panicked");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism suite: `parallelism` ∈ {1, 2, 8} must agree.
+//
+// The morsel-driven executor concatenates per-morsel outputs in morsel
+// order and merges partial aggregates in morsel order with first-occurrence
+// group ids, so results depend only on the morsel decomposition, never on
+// scheduling. Non-float columns must match exactly at every level; float
+// aggregates may differ from the serial reference only by partial-merge
+// rounding (compared at 1e-9 relative tolerance) and must be bit-identical
+// between the parallel levels themselves.
+// ---------------------------------------------------------------------------
+
+/// A database whose fixtures are big enough for several morsels: tiny
+/// morsels and no row floor force the parallel operator paths.
+fn parallel_db(parallelism: usize) -> Database {
+    let db = Database::builder()
+        .exec_config(minidb::exec::ExecConfig {
+            parallelism,
+            morsel_rows: 64,
+            min_parallel_rows: 0,
+            ..Default::default()
+        })
+        .build();
+    db.execute_script(
+        "CREATE TABLE fm (MatrixID Int64, OrderID Int64, Value Float64); \
+         CREATE TABLE kernel (KernelID Int64, OrderID Int64, Value Float64);",
+    )
+    .unwrap();
+    let mut fm = Vec::new();
+    for m in 0..64i64 {
+        for o in 0..16i64 {
+            fm.push(format!("({m}, {o}, {}.5)", (m * 31 + o * 7) % 19));
+        }
+    }
+    db.execute(&format!("INSERT INTO fm VALUES {}", fm.join(","))).unwrap();
+    let mut kr = Vec::new();
+    for k in 0..8i64 {
+        for o in 0..16i64 {
+            kr.push(format!("({k}, {o}, {}.25)", (k * 13 + o * 3) % 7));
+        }
+    }
+    db.execute(&format!("INSERT INTO kernel VALUES {}", kr.join(","))).unwrap();
+    db
+}
+
+/// Every operator the morsel executor parallelizes: filter, projection,
+/// hash-join probe, partial-aggregate group-by — with and without ORDER BY
+/// (the unordered cases check emission-order determinism itself).
+const DETERMINISM_CORPUS: &[&str] = &[
+    "SELECT MatrixID, OrderID, Value FROM fm WHERE Value > 4.0 and OrderID < 12",
+    "SELECT MatrixID + OrderID AS mo, Value * 0.5 AS half FROM fm WHERE MatrixID >= 3",
+    "SELECT B.KernelID AS KernelID, A.MatrixID AS TupleID, SUM(A.Value * B.Value) AS Value \
+     FROM fm A INNER JOIN kernel B ON A.OrderID = B.OrderID \
+     GROUP BY B.KernelID, A.MatrixID ORDER BY KernelID, TupleID",
+    "SELECT MatrixID, count(*) AS n, SUM(Value) AS s, AVG(Value) AS a, \
+     MIN(Value) AS lo, MAX(Value) AS hi FROM fm GROUP BY MatrixID ORDER BY MatrixID",
+    "SELECT MatrixID, SUM(Value) AS s FROM fm GROUP BY MatrixID \
+     HAVING SUM(Value) > 50.0 ORDER BY MatrixID LIMIT 10",
+    "SELECT count(*) AS n FROM fm A, kernel B WHERE A.OrderID = B.OrderID and A.Value > 2.0",
+    "SELECT OrderID, count(*) AS n, SUM(Value) AS s FROM fm GROUP BY OrderID",
+    "SELECT Value FROM fm WHERE Value >= 1.0",
+];
+
+/// Cell-by-cell comparison: exact for non-floats, `eps`-relative for
+/// floats (`eps = 0.0` demands bit equality there too).
+fn assert_tables_agree(reference: &minidb::Table, got: &minidb::Table, eps: f64, ctx: &str) {
+    assert_eq!(reference.num_rows(), got.num_rows(), "{ctx}: row count");
+    assert_eq!(reference.num_columns(), got.num_columns(), "{ctx}: column count");
+    for c in 0..reference.num_columns() {
+        for r in 0..reference.num_rows() {
+            match (reference.column(c).value(r), got.column(c).value(r)) {
+                (Value::Float64(x), Value::Float64(y)) => {
+                    let tol = eps * x.abs().max(1.0);
+                    assert!((x - y).abs() <= tol, "{ctx}: col {c} row {r}: {x} vs {y} (tol {tol})");
+                }
+                (a, b) => assert_eq!(a, b, "{ctx}: col {c} row {r}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn parallelism_levels_agree_on_sql_corpus() {
+    let serial = parallel_db(1);
+    let two = parallel_db(2);
+    let eight = parallel_db(8);
+    for sql in DETERMINISM_CORPUS {
+        let reference = serial.execute(sql).unwrap();
+        let t2 = two.execute(sql).unwrap();
+        let t8 = eight.execute(sql).unwrap();
+        assert_tables_agree(reference.table(), t2.table(), 1e-9, &format!("p=2 vs p=1: {sql}"));
+        assert_tables_agree(reference.table(), t8.table(), 1e-9, &format!("p=8 vs p=1: {sql}"));
+        // Between parallel levels the merge is identical: bit-for-bit.
+        assert_tables_agree(t2.table(), t8.table(), 0.0, &format!("p=8 vs p=2: {sql}"));
+    }
+}
+
+#[test]
+fn collab_strategies_agree_across_parallelism() {
+    use collab::{CollabEngine, QueryType, StrategyKind};
+    use workload::{build_dataset, build_repo, DatasetConfig, RepoConfig};
+
+    // Low selectivity and 8x8 keyframes keep the un-optimized tight
+    // strategy (SQL inference per admitted keyframe) debug-mode fast.
+    let queries: Vec<String> =
+        [QueryType::Type1, QueryType::Type2, QueryType::Type3, QueryType::Type4]
+            .into_iter()
+            .map(|t| workload::queries::template(t, 0.1, "").sql)
+            .collect();
+    let keyframe_shape = vec![1usize, 8, 8];
+    let repo = build_repo(&RepoConfig {
+        keyframe_shape: keyframe_shape.clone(),
+        histogram_samples: 16,
+        ..Default::default()
+    });
+
+    // results[level][strategy][query] -> table
+    let mut results: Vec<Vec<Vec<minidb::Table>>> = Vec::new();
+    for parallelism in [1usize, 2, 8] {
+        let db = Arc::new(
+            Database::builder()
+                .exec_config(minidb::exec::ExecConfig {
+                    parallelism,
+                    morsel_rows: 16,
+                    min_parallel_rows: 0,
+                    ..Default::default()
+                })
+                .build(),
+        );
+        let dataset = DatasetConfig {
+            video_rows: 100,
+            keyframe_shape: keyframe_shape.clone(),
+            ..Default::default()
+        };
+        build_dataset(&db, &dataset).unwrap();
+        let engine = CollabEngine::new(db, Arc::clone(&repo));
+        let mut per_strategy = Vec::new();
+        for kind in StrategyKind::all() {
+            let mut tables = Vec::new();
+            for sql in &queries {
+                let out = engine
+                    .execute(sql, kind)
+                    .unwrap_or_else(|e| panic!("{} failed on {sql}: {e}", kind.label()));
+                tables.push(out.table);
+            }
+            per_strategy.push(tables);
+        }
+        results.push(per_strategy);
+    }
+
+    for (s, kind) in StrategyKind::all().into_iter().enumerate() {
+        for (q, sql) in queries.iter().enumerate() {
+            let ctx = |lvl: &str| format!("{} {lvl}: {sql}", kind.label());
+            assert_tables_agree(&results[0][s][q], &results[1][s][q], 1e-9, &ctx("p=2 vs p=1"));
+            assert_tables_agree(&results[0][s][q], &results[2][s][q], 1e-9, &ctx("p=8 vs p=1"));
+            assert_tables_agree(&results[1][s][q], &results[2][s][q], 0.0, &ctx("p=8 vs p=2"));
+        }
+    }
+}
+
+#[test]
+fn query_result_reports_timing_and_scan_volume() {
+    let db = parallel_db(2);
+    let out = db.execute("SELECT MatrixID, SUM(Value) AS s FROM fm GROUP BY MatrixID").unwrap();
+    assert_eq!(out.column_names(), vec!["MatrixID", "s"]);
+    assert_eq!(out.column_types(), vec![minidb::DataType::Int64, minidb::DataType::Float64]);
+    assert!(out.elapsed() > std::time::Duration::ZERO);
+    assert_eq!(out.rows_scanned(), 64 * 16);
+    assert!(out.summary().contains("rows scanned"), "summary: {}", out.summary());
 }

@@ -8,7 +8,7 @@ use minidb::optimizer::OptimizerConfig;
 use minidb::plan::logical::{JoinAlgorithm, LogicalPlan};
 use minidb::sql::ast::Statement;
 use minidb::sql::parser::parse_statement;
-use minidb::{Column, Database, DataType, Field, ScalarUdf, Schema, Table, Value};
+use minidb::{Column, DataType, Database, Field, ScalarUdf, Schema, Table, Value};
 
 fn small_db() -> Arc<Database> {
     let db = Database::new();
@@ -28,10 +28,7 @@ fn small_db() -> Arc<Database> {
     .unwrap();
     db.catalog().create_table("t0", t0, false).unwrap();
     let t1 = Table::new(
-        Schema::new(vec![
-            Field::new("id", DataType::Int64),
-            Field::new("flag", DataType::Int64),
-        ]),
+        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("flag", DataType::Int64)]),
         vec![
             Column::Int64((0..n).collect()),
             Column::Int64((0..n).map(|i| (i % 10 == 0) as i64).collect()),
@@ -64,21 +61,15 @@ fn placement_hint_prunes_udf_invocations() {
     // Hints off: the UDF filter is evaluated at scan time (all 60 rows).
     let counter = Arc::new(AtomicU64::new(0));
     counting_udf(&db, Arc::clone(&counter));
-    db.set_optimizer_config(OptimizerConfig {
-        udf_placement_hints: false,
-        ..Default::default()
-    });
+    db.swap_optimizer_config(OptimizerConfig { udf_placement_hints: false, ..Default::default() });
     let plain_rows = db.execute(sql).unwrap();
     let plain_calls = counter.load(Ordering::Relaxed);
 
     // Hints on: the flag filter (selectivity 0.1) runs first, so the UDF
     // sees only the surviving rows.
     counter.store(0, Ordering::Relaxed);
-    db.set_cost_model(Arc::new(minidb::DefaultCostModel::with_udf_hints()));
-    db.set_optimizer_config(OptimizerConfig {
-        udf_placement_hints: true,
-        ..Default::default()
-    });
+    db.swap_cost_model(Arc::new(minidb::DefaultCostModel::with_udf_hints()));
+    db.swap_optimizer_config(OptimizerConfig { udf_placement_hints: true, ..Default::default() });
     let hinted_rows = db.execute(sql).unwrap();
     let hinted_calls = counter.load(Ordering::Relaxed);
 
@@ -99,7 +90,7 @@ fn symmetric_hash_join_is_chosen_for_udf_join_keys() {
         })
         .with_cost(1_000.0),
     );
-    db.set_optimizer_config(OptimizerConfig {
+    db.swap_optimizer_config(OptimizerConfig {
         symmetric_for_udf_joins: true,
         ..Default::default()
     });
@@ -135,12 +126,8 @@ fn udf_histogram_drives_selectivity_estimates() {
         .with_class_probabilities(vec![(Value::Bool(true), 0.01), (Value::Bool(false), 0.99)]),
     );
     let sql = "SELECT id FROM t0 WHERE rare_class(payload) = TRUE";
-    let plain = db
-        .estimate_with(sql, &minidb::DefaultCostModel::default())
-        .unwrap();
-    let hinted = db
-        .estimate_with(sql, &minidb::DefaultCostModel::with_udf_hints())
-        .unwrap();
+    let plain = db.estimate_with(sql, &minidb::DefaultCostModel::default()).unwrap();
+    let hinted = db.estimate_with(sql, &minidb::DefaultCostModel::with_udf_hints()).unwrap();
     assert!(
         hinted.rows < plain.rows,
         "histogram selectivity (1%) must shrink the estimate: {} vs {}",
@@ -156,11 +143,20 @@ fn tight_op_never_runs_more_inference_than_plain() {
     let db = Arc::new(Database::new());
     workload::build_dataset(
         &db,
-        &workload::DatasetConfig { video_rows: 80, keyframe_shape: vec![1, 8, 8], ..Default::default() },
+        &workload::DatasetConfig {
+            video_rows: 80,
+            keyframe_shape: vec![1, 8, 8],
+            ..Default::default()
+        },
     )
     .unwrap();
     let repo = ModelRepo::new();
-    repo.register(NudfSpec::new("nUDF_detect", Arc::new(neuro::zoo::student(vec![1, 8, 8], 2, 5)), NudfOutput::Bool { true_class: 1 }, vec![0.8, 0.2]));
+    repo.register(NudfSpec::new(
+        "nUDF_detect",
+        Arc::new(neuro::zoo::student(vec![1, 8, 8], 2, 5)),
+        NudfOutput::Bool { true_class: 1 },
+        vec![0.8, 0.2],
+    ));
     let engine = CollabEngine::new(db, Arc::new(repo));
     for humidity in [95.0, 80.0, 60.0] {
         let sql = format!(

@@ -15,15 +15,15 @@ use rand::SeedableRng;
 /// classification head.
 fn arbitrary_model() -> impl Strategy<Value = (Model, u64)> {
     (
-        2usize..4,         // input channels? keep small: 1..3
-        8usize..13,        // input H = W
-        1usize..4,         // conv blocks
+        2usize..4,           // input channels? keep small: 1..3
+        8usize..13,          // input H = W
+        1usize..4,           // conv blocks
         proptest::bool::ANY, // batch norm
         proptest::bool::ANY, // relu
         proptest::bool::ANY, // max pool at the end
-        2usize..5,         // classes
-        0u64..1000,        // weight seed
-        0u64..1000,        // input seed
+        2usize..5,           // classes
+        0u64..1000,          // weight seed
+        0u64..1000,          // input seed
     )
         .prop_map(|(in_c, hw, blocks, bn, relu, pool, classes, wseed, iseed)| {
             let in_c = in_c - 1; // 1..3

@@ -50,12 +50,7 @@ fn benchmark_queries_classify_as_their_templates() {
     });
     assert_eq!(queries.len(), 8);
     for q in &queries {
-        assert_eq!(
-            classify_sql(&q.sql, engine.repo()).expect("classifies"),
-            q.qtype,
-            "{}",
-            q.sql
-        );
+        assert_eq!(classify_sql(&q.sql, engine.repo()).expect("classifies"), q.qtype, "{}", q.sql);
     }
 }
 

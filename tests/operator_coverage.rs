@@ -50,10 +50,7 @@ fn rng(seed: u64) -> StdRng {
 #[test]
 fn convolution() {
     let mut r = rng(1);
-    let layers = vec![
-        neuro::zoo::conv_layer(&mut r, 1, 4, 3, 1, 0),
-        Layer::Softmax,
-    ];
+    let layers = vec![neuro::zoo::conv_layer(&mut r, 1, 4, 3, 1, 0), Layer::Softmax];
     // 6x6 -> conv3 -> 4x4x4 map; softmax over the map normalizes globally.
     assert_sql_matches(Model::new("t_conv", vec![1, 6, 6], 0, layers), &[1, 6, 6], 10);
 }
@@ -67,21 +64,16 @@ fn convolution_with_stride_and_padding() {
 
 #[test]
 fn deconvolution() {
-    let weight = Tensor::new(
-        vec![2, 3, 2, 2],
-        (0..24).map(|i| (i as f32 - 12.0) / 10.0).collect(),
-    )
-    .unwrap();
+    let weight =
+        Tensor::new(vec![2, 3, 2, 2], (0..24).map(|i| (i as f32 - 12.0) / 10.0).collect()).unwrap();
     let layers = vec![Layer::Deconv2d { weight, bias: None, stride: 2, padding: 0 }];
     assert_sql_matches(Model::new("t_deconv", vec![2, 3, 3], 0, layers), &[2, 3, 3], 12);
 }
 
 #[test]
 fn max_and_avg_pooling() {
-    let layers = vec![
-        Layer::MaxPool2d { kernel: 2, stride: 2 },
-        Layer::AvgPool2d { kernel: 2, stride: 1 },
-    ];
+    let layers =
+        vec![Layer::MaxPool2d { kernel: 2, stride: 2 }, Layer::AvgPool2d { kernel: 2, stride: 1 }];
     assert_sql_matches(Model::new("t_pool", vec![2, 8, 8], 0, layers), &[2, 8, 8], 13);
 }
 
@@ -118,8 +110,10 @@ fn full_connection() {
 
 #[test]
 fn basic_attention() {
-    let score = Tensor::new(vec![6, 6], (0..36).map(|i| ((i % 7) as f32 - 3.0) / 10.0).collect()).unwrap();
-    let proj = Tensor::new(vec![3, 6], (0..18).map(|i| ((i % 5) as f32 - 2.0) / 10.0).collect()).unwrap();
+    let score =
+        Tensor::new(vec![6, 6], (0..36).map(|i| ((i % 7) as f32 - 3.0) / 10.0).collect()).unwrap();
+    let proj =
+        Tensor::new(vec![3, 6], (0..18).map(|i| ((i % 5) as f32 - 2.0) / 10.0).collect()).unwrap();
     let layers = vec![Layer::BasicAttention { score, proj }];
     assert_sql_matches(Model::new("t_attn", vec![6], 3, layers), &[6], 19);
 }
@@ -142,10 +136,7 @@ fn residual_block_with_conv_shortcut() {
 #[test]
 fn identity_block() {
     let mut r = rng(6);
-    let body = vec![
-        neuro::zoo::conv_layer(&mut r, 3, 3, 3, 1, 1),
-        Layer::BatchNorm { eps: 5e-5 },
-    ];
+    let body = vec![neuro::zoo::conv_layer(&mut r, 3, 3, 3, 1, 1), Layer::BatchNorm { eps: 5e-5 }];
     let layers = vec![Layer::Block(Block::Residual { body, shortcut: vec![] })];
     assert_sql_matches(Model::new("t_idblock", vec![3, 5, 5], 0, layers), &[3, 5, 5], 21);
 }
@@ -164,11 +155,7 @@ fn dense_block() {
 #[test]
 fn softmax_classification_head() {
     let mut r = rng(8);
-    let layers = vec![
-        Layer::GlobalAvgPool,
-        neuro::zoo::linear_layer(&mut r, 3, 4),
-        Layer::Softmax,
-    ];
+    let layers = vec![Layer::GlobalAvgPool, neuro::zoo::linear_layer(&mut r, 3, 4), Layer::Softmax];
     assert_sql_matches(Model::new("t_softmax", vec![3, 4, 4], 4, layers), &[3, 4, 4], 23);
 }
 

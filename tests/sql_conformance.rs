@@ -77,10 +77,8 @@ fn paper_q4_batch_norm_scalar_subqueries() {
 #[test]
 fn paper_q5_relu_update_and_residual_add() {
     let db = db();
-    db.execute(
-        "CREATE TEMP TABLE a AS SELECT MatrixID, OrderID, Value - 4.0 AS Value FROM fm",
-    )
-    .unwrap();
+    db.execute("CREATE TEMP TABLE a AS SELECT MatrixID, OrderID, Value - 4.0 AS Value FROM fm")
+        .unwrap();
     db.execute(
         "CREATE TEMP TABLE cb_output AS SELECT A.MatrixID AS MatrixID, A.OrderID AS OrderID, \
          A.Value + B.Value AS Value FROM a A, fm B \
@@ -100,8 +98,12 @@ fn paper_q5_relu_update_and_residual_add() {
 #[test]
 fn views_chain_and_reflect_base_updates() {
     let db = db();
-    db.execute("CREATE VIEW doubled AS SELECT MatrixID, OrderID, Value * 2 AS Value FROM fm").unwrap();
-    db.execute("CREATE VIEW quadrupled AS SELECT MatrixID, OrderID, Value * 2 AS Value FROM doubled").unwrap();
+    db.execute("CREATE VIEW doubled AS SELECT MatrixID, OrderID, Value * 2 AS Value FROM fm")
+        .unwrap();
+    db.execute(
+        "CREATE VIEW quadrupled AS SELECT MatrixID, OrderID, Value * 2 AS Value FROM doubled",
+    )
+    .unwrap();
     let v = db.execute("SELECT SUM(Value) FROM quadrupled").unwrap();
     assert_eq!(v.table().column(0).f64_at(0), 36.0 * 4.0);
     db.execute("UPDATE fm SET Value = 0 WHERE MatrixID = 1").unwrap();
@@ -134,9 +136,10 @@ fn symmetric_hash_join_config_is_result_equivalent() {
     let sql = "SELECT A.MatrixID, B.KernelID FROM fm A, kernel B \
                WHERE A.OrderID = B.OrderID ORDER BY A.MatrixID, B.KernelID, A.OrderID";
     let plain = db.execute(sql).unwrap();
-    db.set_exec_config(minidb::exec::ExecConfig {
+    db.swap_exec_config(minidb::exec::ExecConfig {
         symmetric_batch_rows: 2,
         symmetric_bucket_budget: 2,
+        ..Default::default()
     });
     // Force the symmetric algorithm via the optimizer switch: register a
     // dummy UDF key? Simpler: run with the same config — plans identical —
@@ -274,7 +277,9 @@ fn date_comparisons_match_the_paper_literals() {
     db.execute("CREATE TABLE f (printdate Date)").unwrap();
     db.execute("INSERT INTO f VALUES ('2021-01-15'), ('2021-02-15'), ('2020-12-31')").unwrap();
     let out = db
-        .execute("SELECT count(*) FROM f WHERE printdate > '2021-01-01' and printdate < '2021-1-31'")
+        .execute(
+            "SELECT count(*) FROM f WHERE printdate > '2021-01-01' and printdate < '2021-1-31'",
+        )
         .unwrap();
     assert_eq!(out.table().column(0).i64_at(0), 1);
 }
