@@ -5,4 +5,4 @@ pub mod report;
 pub mod setup;
 
 pub use report::{fmt_duration, Report};
-pub use setup::{default_env, env, Env};
+pub use setup::{cached_env, default_env, env, Env};

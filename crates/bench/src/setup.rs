@@ -31,3 +31,14 @@ pub fn env(video_rows: usize, keyframe_shape: Vec<usize>) -> Env {
 pub fn default_env() -> Env {
     env(2000, vec![1, 12, 12])
 }
+
+/// As [`env`], with the warm path enabled: nUDF inference memoization and
+/// compiled-artifact reuse opted in (the plan cache is on by default).
+/// The figure harnesses deliberately do NOT use this — they measure cold
+/// costs; it exists for the cache benchmark and ablations.
+pub fn cached_env(video_rows: usize, keyframe_shape: Vec<usize>) -> Env {
+    let e = env(video_rows, keyframe_shape);
+    e.engine.set_inference_cache_capacity(1 << 16);
+    e.engine.set_artifact_cache_capacity(32);
+    e
+}

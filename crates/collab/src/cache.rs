@@ -1,0 +1,204 @@
+//! nUDF inference memoization.
+//!
+//! The paper's dashboard workload re-runs the same collaborative queries
+//! over a slowly-growing video table: the overwhelming majority of
+//! keyframes scored by one query were already scored by the previous one.
+//! This module memoizes inference *results* — not tensors, not plans — in
+//! a sharded LRU shared by all four strategies, keyed by
+//!
+//! * the nUDF's **generation id** (assigned by [`ModelRepo::register`];
+//!   swapping a model re-registers and gets a fresh generation, so stale
+//!   entries stop matching without an explicit flush),
+//! * the model-selection **condition** (paper Type 3 nUDFs pick a variant
+//!   per row), and
+//! * the **full keyframe blob bytes** ([`BlobKey`] hashes and compares
+//!   contents, so a hash collision can degrade to a miss but can never
+//!   return the wrong row's prediction — cached results stay bit-identical
+//!   to uncached ones).
+//!
+//! The cache is disabled (capacity 0) by default: the Fig. 8 harnesses
+//! compare strategies on cold inference costs, and memoization would
+//! flatten exactly the differences they measure. Engines opt in via
+//! [`crate::CollabEngine::set_inference_cache_capacity`].
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use cachekit::{ShardedLru, StatsSnapshot};
+use minidb::Value;
+
+use crate::nudf::ModelRepo;
+
+/// A keyframe blob as a cache key: hashes and compares the *contents*.
+#[derive(Debug, Clone)]
+pub struct BlobKey(pub Arc<Vec<u8>>);
+
+impl PartialEq for BlobKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.as_slice() == other.0.as_slice()
+    }
+}
+impl Eq for BlobKey {}
+impl Hash for BlobKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(cachekit::fnv1a(&self.0));
+    }
+}
+
+/// One memoized inference: which nUDF generation scored which keyframe
+/// under which model-selection condition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InferenceKey {
+    /// The nUDF's generation id in the [`ModelRepo`].
+    pub generation: u64,
+    /// `f64::to_bits` of the condition argument, `None` when the nUDF is
+    /// unconditional. Bits (not the float) so `NaN`/`-0.0` stay distinct
+    /// keys rather than poisoning equality.
+    pub condition_bits: Option<u64>,
+    /// The keyframe contents.
+    pub blob: BlobKey,
+}
+
+impl InferenceKey {
+    /// Builds a key; fails if `value` is not a blob.
+    pub fn new(
+        generation: u64,
+        condition: Option<f64>,
+        value: &Value,
+    ) -> std::result::Result<Self, crate::Error> {
+        let Value::Blob(bytes) = value else {
+            return Err(crate::Error::Coordinator("keyframe column is not a blob".into()));
+        };
+        Ok(InferenceKey {
+            generation,
+            condition_bits: condition.map(f64::to_bits),
+            blob: BlobKey(Arc::clone(bytes)),
+        })
+    }
+}
+
+/// The shared, capacity-bounded nUDF result cache.
+pub struct InferenceCache {
+    lru: ShardedLru<InferenceKey, Value>,
+}
+
+const SHARDS: usize = 8;
+
+impl InferenceCache {
+    /// A cache bounded to `capacity` memoized results across all models.
+    /// `0` disables it ([`InferenceCache::enabled`] is false and every
+    /// strategy skips the lookup entirely).
+    pub fn new(capacity: usize) -> Self {
+        InferenceCache { lru: ShardedLru::new(capacity, SHARDS) }
+    }
+
+    /// Whether memoization is active.
+    pub fn enabled(&self) -> bool {
+        self.lru.capacity() > 0
+    }
+
+    /// Changes the capacity in place (0 disables; shrinking evicts).
+    pub fn set_capacity(&self, capacity: usize) {
+        self.lru.set_capacity(capacity);
+    }
+
+    /// A memoized prediction, refreshing recency.
+    pub fn get(&self, key: &InferenceKey) -> Option<Value> {
+        self.lru.get(key)
+    }
+
+    /// Memoizes one prediction.
+    pub fn insert(&self, key: InferenceKey, value: Value) {
+        self.lru.insert(key, value);
+    }
+
+    /// Drops every entry belonging to generations ≤ `generation` of no
+    /// particular name — in practice unnecessary (stale generations age
+    /// out via LRU), but exposed for deterministic teardown in tests.
+    pub fn invalidate_generation(&self, generation: u64) -> usize {
+        self.lru.retain(|k, _| k.generation != generation)
+    }
+
+    /// Live memoized results.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Drops all entries (capacity and counters unchanged).
+    pub fn clear(&self) {
+        self.lru.clear();
+    }
+
+    /// Aggregated hit/miss/eviction counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.lru.stats()
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&self) {
+        self.lru.reset_stats();
+    }
+}
+
+/// Resolves the generation for `spec_name`, erroring on unknown names so a
+/// generation-0 key can never be created by accident.
+pub fn generation_for(repo: &ModelRepo, spec_name: &str) -> crate::Result<u64> {
+    match repo.generation(spec_name) {
+        0 => Err(crate::Error::UnknownNudf(spec_name.to_string())),
+        g => Ok(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(bytes: &[u8]) -> Value {
+        Value::Blob(Arc::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn keys_compare_contents_not_pointers() {
+        let a = InferenceKey::new(1, None, &blob(b"kf")).unwrap();
+        let b = InferenceKey::new(1, None, &blob(b"kf")).unwrap();
+        assert_eq!(a, b);
+        let c = InferenceKey::new(1, None, &blob(b"other")).unwrap();
+        assert_ne!(a, c);
+        // Generation and condition discriminate.
+        assert_ne!(a, InferenceKey::new(2, None, &blob(b"kf")).unwrap());
+        assert_ne!(a, InferenceKey::new(1, Some(0.5), &blob(b"kf")).unwrap());
+        assert!(InferenceKey::new(1, None, &Value::Int64(3)).is_err());
+    }
+
+    #[test]
+    fn memoizes_and_respects_capacity_zero() {
+        let cache = InferenceCache::new(16);
+        assert!(cache.enabled());
+        let k = InferenceKey::new(1, None, &blob(b"kf")).unwrap();
+        assert_eq!(cache.get(&k), None);
+        cache.insert(k.clone(), Value::Bool(true));
+        assert_eq!(cache.get(&k), Some(Value::Bool(true)));
+
+        let off = InferenceCache::new(0);
+        assert!(!off.enabled());
+        off.insert(k.clone(), Value::Bool(true));
+        assert_eq!(off.get(&k), None);
+    }
+
+    #[test]
+    fn generation_invalidation_removes_only_that_generation() {
+        let cache = InferenceCache::new(16);
+        let k1 = InferenceKey::new(1, None, &blob(b"a")).unwrap();
+        let k2 = InferenceKey::new(2, None, &blob(b"a")).unwrap();
+        cache.insert(k1.clone(), Value::Bool(true));
+        cache.insert(k2.clone(), Value::Bool(false));
+        assert_eq!(cache.invalidate_generation(1), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&k2), Some(Value::Bool(false)));
+    }
+}

@@ -2,16 +2,17 @@
 
 use std::sync::Arc;
 
-use dl2sql::NeuralRegistry;
+use dl2sql::{ArtifactCache, NeuralRegistry};
 use minidb::sql::ast::{Query, Statement};
 use minidb::sql::parser::parse_statement;
 use minidb::Database;
 
+use crate::cache::InferenceCache;
 use crate::error::Result;
 use crate::independent::{DlServer, Independent};
 use crate::loose::LooseUdf;
 use crate::metrics::{InferenceMeter, StrategyOutcome};
-use crate::nudf::ModelRepo;
+use crate::nudf::{ModelRepo, NudfSpec};
 use crate::tight::Tight;
 use crate::Strategy;
 
@@ -61,6 +62,14 @@ pub struct CollabEngine {
     registry: Arc<NeuralRegistry>,
     meter: Arc<InferenceMeter>,
     server: Arc<DlServer>,
+    /// nUDF result memoization, shared by all four strategies. Disabled
+    /// (capacity 0) by default so the Fig. 8 harnesses keep measuring
+    /// cold inference costs; see [`CollabEngine::set_inference_cache_capacity`].
+    inference_cache: Arc<InferenceCache>,
+    /// Compiled-artifact reuse for the tight strategies. Disabled by
+    /// default ("integrated on the fly" is part of what Fig. 8 measures);
+    /// see [`CollabEngine::set_artifact_cache_capacity`].
+    artifact_cache: Arc<ArtifactCache>,
 }
 
 impl CollabEngine {
@@ -75,7 +84,15 @@ impl CollabEngine {
         taskpool::set_default_parallelism(db.exec_config().parallelism);
         let meter = InferenceMeter::shared();
         let server = Arc::new(DlServer::start(Arc::clone(&repo), Arc::clone(&meter)));
-        CollabEngine { db, repo, registry: NeuralRegistry::shared(), meter, server }
+        CollabEngine {
+            db,
+            repo,
+            registry: NeuralRegistry::shared(),
+            meter,
+            server,
+            inference_cache: Arc::new(InferenceCache::new(0)),
+            artifact_cache: Arc::new(ArtifactCache::new(0)),
+        }
     }
 
     /// The shared database.
@@ -93,34 +110,90 @@ impl CollabEngine {
         &self.registry
     }
 
-    /// Instantiates a strategy.
+    /// The shared nUDF result-memoization cache.
+    pub fn inference_cache(&self) -> &Arc<InferenceCache> {
+        &self.inference_cache
+    }
+
+    /// The compiled-artifact cache used by the tight strategies.
+    pub fn artifact_cache(&self) -> &Arc<ArtifactCache> {
+        &self.artifact_cache
+    }
+
+    /// Bounds nUDF inference memoization to `capacity` results across all
+    /// strategies (0 disables it, the default). Cached results are
+    /// bit-identical to uncached ones; only the cost of producing them
+    /// changes.
+    pub fn set_inference_cache_capacity(&self, capacity: usize) {
+        self.inference_cache.set_capacity(capacity);
+    }
+
+    /// Bounds compiled-artifact reuse to `capacity` (model, strategy)
+    /// compilations (0 disables it, the default — every tight query then
+    /// re-integrates its model "on the fly" as the paper describes).
+    pub fn set_artifact_cache_capacity(&self, capacity: usize) {
+        self.artifact_cache.set_capacity(capacity);
+    }
+
+    /// Replaces the model behind an nUDF. The old registration's compiled
+    /// artifacts (relational tables + registry roles) are dropped, its
+    /// memoized results invalidated, and the new spec registered under a
+    /// fresh generation; returns that generation. Registering a brand-new
+    /// name degenerates to a plain [`ModelRepo::register`].
+    pub fn swap_nudf(&self, spec: NudfSpec) -> u64 {
+        if let Some(old) = self.repo.get(&spec.name) {
+            let old_generation = self.repo.generation(&spec.name);
+            self.artifact_cache.invalidate_model(&self.db, &self.registry, &old.model);
+            for v in &old.variants {
+                self.artifact_cache.invalidate_model(&self.db, &self.registry, &v.model);
+            }
+            // Fresh generations stop matching on their own; dropping the
+            // old entries now frees their capacity immediately.
+            self.inference_cache.invalidate_generation(old_generation);
+        }
+        self.repo.register(spec)
+    }
+
+    /// Instantiates a strategy (sharing the engine's caches).
     pub fn strategy(&self, kind: StrategyKind) -> Box<dyn Strategy + '_> {
         match kind {
-            StrategyKind::Independent => Box::new(Independent::new(
-                Arc::clone(&self.db),
-                Arc::clone(&self.repo),
-                Arc::clone(&self.server),
-                Arc::clone(&self.meter),
-            )),
-            StrategyKind::LooseUdf => Box::new(LooseUdf::new(
-                Arc::clone(&self.db),
-                Arc::clone(&self.repo),
-                Arc::clone(&self.meter),
-            )),
-            StrategyKind::Tight => Box::new(Tight::new(
-                Arc::clone(&self.db),
-                Arc::clone(&self.repo),
-                Arc::clone(&self.registry),
-                Arc::clone(&self.meter),
-                false,
-            )),
-            StrategyKind::TightOptimized => Box::new(Tight::new(
-                Arc::clone(&self.db),
-                Arc::clone(&self.repo),
-                Arc::clone(&self.registry),
-                Arc::clone(&self.meter),
-                true,
-            )),
+            StrategyKind::Independent => Box::new(
+                Independent::new(
+                    Arc::clone(&self.db),
+                    Arc::clone(&self.repo),
+                    Arc::clone(&self.server),
+                    Arc::clone(&self.meter),
+                )
+                .with_inference_cache(Arc::clone(&self.inference_cache)),
+            ),
+            StrategyKind::LooseUdf => Box::new(
+                LooseUdf::new(
+                    Arc::clone(&self.db),
+                    Arc::clone(&self.repo),
+                    Arc::clone(&self.meter),
+                )
+                .with_inference_cache(Arc::clone(&self.inference_cache)),
+            ),
+            StrategyKind::Tight => Box::new(
+                Tight::new(
+                    Arc::clone(&self.db),
+                    Arc::clone(&self.repo),
+                    Arc::clone(&self.registry),
+                    Arc::clone(&self.meter),
+                    false,
+                )
+                .with_caches(Arc::clone(&self.inference_cache), Arc::clone(&self.artifact_cache)),
+            ),
+            StrategyKind::TightOptimized => Box::new(
+                Tight::new(
+                    Arc::clone(&self.db),
+                    Arc::clone(&self.repo),
+                    Arc::clone(&self.registry),
+                    Arc::clone(&self.meter),
+                    true,
+                )
+                .with_caches(Arc::clone(&self.inference_cache), Arc::clone(&self.artifact_cache)),
+            ),
         }
     }
 

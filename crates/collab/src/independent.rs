@@ -28,6 +28,7 @@ use minidb::sql::ast::{Expr, FromItem, Query, SelectItem, TableFactor};
 use minidb::{Column, Database, Field, Schema, Table};
 use neuro::serialize::tensor_from_bytes;
 
+use crate::cache::{BlobKey, InferenceCache, InferenceKey};
 use crate::error::{Error, Result};
 use crate::metrics::{CostBreakdown, InferenceMeter, StrategyOutcome};
 use crate::nudf::ModelRepo;
@@ -133,14 +134,19 @@ fn serve(
     for t in &tensors {
         meter.clock.charge_transfer((t.len() * 4) as u64);
     }
-    // Batch inference ("nUDF is performed in a batch manner"); each item's
-    // condition selects the model variant.
+    // Batch inference ("nUDF is performed in a batch manner") across the
+    // serving system's workers; each item's condition selects the model
+    // variant. `run_indexed` returns predictions in request order, so the
+    // reply is identical at any worker count.
     let t0 = Instant::now();
-    let mut classes = Vec::with_capacity(tensors.len());
-    for (t, cond) in tensors.iter().zip(&conditions) {
-        let out = spec.select_model(*cond).forward_with_clock(t, Some(&meter.clock))?;
-        classes.push(out.argmax());
-    }
+    let workers = taskpool::default_parallelism();
+    let classes = taskpool::run_indexed(workers, tensors.len(), |i| {
+        spec.select_model(conditions[i])
+            .forward_with_clock(&tensors[i], Some(&meter.clock))
+            .map(|out| out.argmax())
+    })
+    .into_iter()
+    .collect::<std::result::Result<Vec<usize>, _>>()?;
     meter.add(t0.elapsed());
     // Serialize predictions.
     let mut out = BytesMut::with_capacity(4 + 4 * classes.len());
@@ -172,6 +178,7 @@ pub struct Independent {
     repo: Arc<ModelRepo>,
     server: Arc<DlServer>,
     meter: Arc<InferenceMeter>,
+    inference: Arc<InferenceCache>,
 }
 
 impl Independent {
@@ -183,7 +190,15 @@ impl Independent {
         server: Arc<DlServer>,
         meter: Arc<InferenceMeter>,
     ) -> Self {
-        Independent { db, repo, server, meter }
+        Independent { db, repo, server, meter, inference: Arc::new(InferenceCache::new(0)) }
+    }
+
+    /// Attaches a shared result-memoization cache. Memoized keyframes are
+    /// answered at the coordinator — they never cross the channel — so
+    /// only cache misses are serialized, shipped and scored.
+    pub fn with_inference_cache(mut self, inference: Arc<InferenceCache>) -> Self {
+        self.inference = inference;
+        self
     }
 }
 
@@ -484,58 +499,87 @@ impl Strategy for Independent {
                 relational += t_work.elapsed();
             }
 
-            // Per-query model loading: the serving system receives the
-            // model's script file and deserializes it ("the neural model
-            // corresponding to a collaborative query is integrated into
-            // the system on the fly").
-            let t_model = Instant::now();
-            let script = neuro::serialize::save_model(&spec.model);
-            let _loaded = neuro::serialize::load_model(&script)?;
-            self.meter.add_cross_bytes(script.len() as u64);
-            loading += t_model.elapsed();
-
-            // Serialize the work list (loading: data transformation +
-            // cross-system I/O). Keyframe blobs already hold the tensor
-            // wire format; conditions travel as raw f64 bits.
-            let t_ser = Instant::now();
-            let mut payload = BytesMut::new();
-            payload.put_u8(conditional as u8);
-            payload.put_u32_le(work_items.len() as u32);
-            for (blob, cond) in &work_items {
-                payload.put_u32_le(blob.len() as u32);
-                payload.extend_from_slice(blob);
-                if let Some(c) = cond {
-                    payload.put_u64_le(c.to_bits());
-                }
-            }
-            let payload = payload.freeze();
-            let request_bytes = payload.len();
-            loading += t_ser.elapsed();
-
-            let response = self.server.infer(name, payload)?;
-            self.meter.add_cross_bytes((request_bytes + response.payload.len()) as u64);
-
-            // Decode predictions and key them by their (keyframe,
-            // condition) item (loading).
-            let t_de = Instant::now();
-            let mut pos = 0usize;
-            let count = read_u32(&response.payload, &mut pos)? as usize;
-            if count != work_items.len() {
-                return Err(Error::Channel(format!(
-                    "server returned {count} predictions for {} items",
-                    work_items.len()
-                )));
-            }
+            // Answer memoized keyframes at the coordinator: they never
+            // cross the channel; only misses are serialized and shipped.
+            let generation = self.inference.enabled().then(|| self.repo.generation(name));
+            let cache_key = |blob: &std::sync::Arc<Vec<u8>>, cond: Option<f64>| InferenceKey {
+                generation: generation.unwrap_or(0),
+                condition_bits: cond.map(f64::to_bits),
+                blob: BlobKey(std::sync::Arc::clone(blob)),
+            };
             let mut by_item: std::collections::HashMap<Vec<u8>, minidb::Value> =
-                std::collections::HashMap::with_capacity(count);
-            for (blob, cond) in &work_items {
-                let class = read_u32(&response.payload, &mut pos)? as usize;
-                by_item.insert(item_key(blob, *cond), spec.output.to_value(class));
+                std::collections::HashMap::with_capacity(work_items.len());
+            let mut misses: Vec<(std::sync::Arc<Vec<u8>>, Option<f64>)> = Vec::new();
+            let t_partition = Instant::now();
+            for (blob, cond) in work_items {
+                if generation.is_some() {
+                    if let Some(v) = self.inference.get(&cache_key(&blob, cond)) {
+                        by_item.insert(item_key(&blob, cond), v);
+                        continue;
+                    }
+                }
+                misses.push((blob, cond));
+            }
+            loading += t_partition.elapsed();
+
+            if !misses.is_empty() {
+                // Per-query model loading: the serving system receives the
+                // model's script file and deserializes it ("the neural
+                // model corresponding to a collaborative query is
+                // integrated into the system on the fly").
+                let t_model = Instant::now();
+                let script = neuro::serialize::save_model(&spec.model);
+                let _loaded = neuro::serialize::load_model(&script)?;
+                self.meter.add_cross_bytes(script.len() as u64);
+                loading += t_model.elapsed();
+
+                // Serialize the work list (loading: data transformation +
+                // cross-system I/O). Keyframe blobs already hold the tensor
+                // wire format; conditions travel as raw f64 bits.
+                let t_ser = Instant::now();
+                let mut payload = BytesMut::new();
+                payload.put_u8(conditional as u8);
+                payload.put_u32_le(misses.len() as u32);
+                for (blob, cond) in &misses {
+                    payload.put_u32_le(blob.len() as u32);
+                    payload.extend_from_slice(blob);
+                    if let Some(c) = cond {
+                        payload.put_u64_le(c.to_bits());
+                    }
+                }
+                let payload = payload.freeze();
+                let request_bytes = payload.len();
+                loading += t_ser.elapsed();
+
+                let response = self.server.infer(name, payload)?;
+                self.meter.add_cross_bytes((request_bytes + response.payload.len()) as u64);
+
+                // Decode predictions and key them by their (keyframe,
+                // condition) item (loading).
+                let t_de = Instant::now();
+                let mut pos = 0usize;
+                let count = read_u32(&response.payload, &mut pos)? as usize;
+                if count != misses.len() {
+                    return Err(Error::Channel(format!(
+                        "server returned {count} predictions for {} items",
+                        misses.len()
+                    )));
+                }
+                for (blob, cond) in &misses {
+                    let class = read_u32(&response.payload, &mut pos)? as usize;
+                    let value = spec.output.to_value(class);
+                    if generation.is_some() {
+                        self.inference.insert(cache_key(blob, *cond), value.clone());
+                    }
+                    by_item.insert(item_key(blob, *cond), value);
+                }
+                loading += t_de.elapsed();
             }
 
             // Attach predictions to the joined base rows. The gated work
             // list came from the base itself; the local work list is a
             // superset of the base's keyframes — the lookup cannot miss.
+            let t_attach = Instant::now();
             let arg_col = base.column_by_name(&format!("__arg_{i}"))?;
             let cond_col =
                 if conditional { Some(base.column_by_name(&format!("__cond_{i}"))?) } else { None };
@@ -552,7 +596,7 @@ impl Strategy for Independent {
                 col.push(v.clone())?;
             }
             prediction_columns.push((format!("__nudf_{i}"), col));
-            loading += t_de.elapsed();
+            loading += t_attach.elapsed();
         }
 
         // ---- phase 3: materialize the intermediate table ----------------

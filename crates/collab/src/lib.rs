@@ -21,6 +21,7 @@
 //! (Table I); [`metrics`] carries the loading/inference/relational cost
 //! breakdown every experiment reports.
 
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod independent;
@@ -30,6 +31,7 @@ pub mod nudf;
 pub mod query;
 pub mod tight;
 
+pub use cache::{InferenceCache, InferenceKey};
 pub use engine::{CollabEngine, PreparedCollabQuery, StrategyKind};
 pub use error::{Error, Result};
 pub use metrics::{CostBreakdown, StrategyOutcome};

@@ -12,8 +12,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use minidb::sql::ast::Query;
-use minidb::{Database, ScalarUdf};
+use minidb::{Database, ScalarUdf, Value};
 
+use crate::cache::{InferenceCache, InferenceKey};
 use crate::error::Result;
 use crate::metrics::{CostBreakdown, InferenceMeter, StrategyOutcome};
 use crate::nudf::ModelRepo;
@@ -26,13 +27,14 @@ pub struct LooseUdf {
     repo: Arc<ModelRepo>,
     meter: Arc<InferenceMeter>,
     batched: bool,
+    inference: Arc<InferenceCache>,
 }
 
 impl LooseUdf {
     /// Builds the strategy over the shared database and repository
     /// (row-at-a-time UDFs, like a stock ClickHouse scalar UDF).
     pub fn new(db: Arc<Database>, repo: Arc<ModelRepo>, meter: Arc<InferenceMeter>) -> Self {
-        LooseUdf { db, repo, meter, batched: false }
+        LooseUdf { db, repo, meter, batched: false, inference: Arc::new(InferenceCache::new(0)) }
     }
 
     /// A variant registering *vectorized* UDFs: the whole keyframe column
@@ -44,7 +46,14 @@ impl LooseUdf {
         repo: Arc<ModelRepo>,
         meter: Arc<InferenceMeter>,
     ) -> Self {
-        LooseUdf { db, repo, meter, batched: true }
+        LooseUdf { db, repo, meter, batched: true, inference: Arc::new(InferenceCache::new(0)) }
+    }
+
+    /// Attaches a shared result-memoization cache. A memoized row skips
+    /// the device round trip entirely; only misses are (re)scored.
+    pub fn with_inference_cache(mut self, inference: Arc<InferenceCache>) -> Self {
+        self.inference = inference;
+        self
     }
 }
 
@@ -91,12 +100,25 @@ impl Strategy for LooseUdf {
 
             let meter = Arc::clone(&self.meter);
             let row_spec = Arc::clone(&compiled);
+            let memo = Arc::clone(&self.inference);
+            let generation = self.repo.generation(&spec.name);
             let mut udf = ScalarUdf::new(
                 &spec.name,
                 spec.arg_types(),
                 spec.output.data_type(),
                 move |args| {
                     let condition = args.get(1).map(|v| v.as_f64()).transpose()?;
+                    let key = if memo.enabled() {
+                        let key = InferenceKey::new(generation, condition, &args[0])
+                            .map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                        if let Some(v) = memo.get(&key) {
+                            // Memoized: no round trip to the device.
+                            return Ok(v);
+                        }
+                        Some(key)
+                    } else {
+                        None
+                    };
                     // Row-at-a-time UDF inference: every call is a
                     // synchronous round trip to the inference device.
                     meter.clock.charge_round_trip();
@@ -105,27 +127,64 @@ impl Strategy for LooseUdf {
                         .invoke_with_condition(&args[0], condition, Some(&meter.clock))
                         .map_err(|e| minidb::Error::Exec(e.to_string()))?;
                     meter.add(t.elapsed());
+                    if let Some(key) = key {
+                        memo.insert(key, out.clone());
+                    }
                     Ok(out)
                 },
             );
             if self.batched {
                 let meter = Arc::clone(&self.meter);
                 let batch_spec = Arc::clone(&compiled);
+                let memo = Arc::clone(&self.inference);
                 let output = spec.output.clone();
                 udf = udf.with_batch(move |cols| {
                     let col = &cols[0];
-                    // One round trip covers the whole batch.
-                    meter.clock.charge_round_trip();
-                    let t0 = Instant::now();
-                    let mut out = minidb::Column::empty(output.data_type());
-                    for row in 0..col.len() {
+                    // Partition the batch into memoized rows and misses.
+                    let mut values: Vec<Option<Value>> = vec![None; col.len()];
+                    let mut misses: Vec<(usize, Value, Option<f64>, Option<InferenceKey>)> =
+                        Vec::new();
+                    for (row, slot) in values.iter_mut().enumerate() {
                         let condition = cols.get(1).map(|c| c.value(row).as_f64()).transpose()?;
-                        let v = batch_spec
-                            .invoke_with_condition(&col.value(row), condition, Some(&meter.clock))
-                            .map_err(|e| minidb::Error::Exec(e.to_string()))?;
-                        out.push(v)?;
+                        let value = col.value(row);
+                        let key = if memo.enabled() {
+                            let key = InferenceKey::new(generation, condition, &value)
+                                .map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                            if let Some(v) = memo.get(&key) {
+                                *slot = Some(v);
+                                continue;
+                            }
+                            Some(key)
+                        } else {
+                            None
+                        };
+                        misses.push((row, value, condition, key));
                     }
-                    meter.add(t0.elapsed());
+                    if !misses.is_empty() {
+                        // One round trip covers the whole batch of misses,
+                        // which the task pool scores in parallel.
+                        // `run_indexed` keeps results in row order, so the
+                        // output column is identical at any worker count.
+                        meter.clock.charge_round_trip();
+                        let t0 = Instant::now();
+                        let workers = taskpool::default_parallelism();
+                        let scored = taskpool::run_indexed(workers, misses.len(), |i| {
+                            let (_, value, condition, _) = &misses[i];
+                            batch_spec.invoke_with_condition(value, *condition, Some(&meter.clock))
+                        });
+                        meter.add(t0.elapsed());
+                        for ((row, _, _, key), scored) in misses.into_iter().zip(scored) {
+                            let v = scored.map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                            if let Some(key) = key {
+                                memo.insert(key, v.clone());
+                            }
+                            values[row] = Some(v);
+                        }
+                    }
+                    let mut out = minidb::Column::empty(output.data_type());
+                    for v in values {
+                        out.push(v.expect("every row memoized or scored"))?;
+                    }
                     Ok(out)
                 });
             }

@@ -189,7 +189,11 @@ impl NudfSpec {
 /// of 20 neural networks for various tasks").
 #[derive(Debug, Default)]
 pub struct ModelRepo {
-    map: RwLock<HashMap<String, Arc<NudfSpec>>>,
+    map: RwLock<HashMap<String, (u64, Arc<NudfSpec>)>>,
+    /// Source of generation ids: every `register` call claims a fresh one,
+    /// so a re-registered (swapped) nUDF can never be confused with its
+    /// predecessor by a generation-keyed cache.
+    generations: cachekit::Epoch,
 }
 
 impl ModelRepo {
@@ -198,14 +202,24 @@ impl ModelRepo {
         ModelRepo::default()
     }
 
-    /// Registers an nUDF spec.
-    pub fn register(&self, spec: NudfSpec) {
-        self.map.write().insert(spec.name.to_ascii_lowercase(), Arc::new(spec));
+    /// Registers an nUDF spec, returning its generation id. Re-registering
+    /// a name assigns a new generation: inference results memoized under
+    /// the old one silently stop matching.
+    pub fn register(&self, spec: NudfSpec) -> u64 {
+        let generation = self.generations.bump();
+        self.map.write().insert(spec.name.to_ascii_lowercase(), (generation, Arc::new(spec)));
+        generation
     }
 
     /// Looks up a spec by case-insensitive name.
     pub fn get(&self, name: &str) -> Option<Arc<NudfSpec>> {
-        self.map.read().get(&name.to_ascii_lowercase()).cloned()
+        self.map.read().get(&name.to_ascii_lowercase()).map(|(_, s)| Arc::clone(s))
+    }
+
+    /// The generation id of a registered nUDF (0 for unknown names; real
+    /// generations start at 1).
+    pub fn generation(&self, name: &str) -> u64 {
+        self.map.read().get(&name.to_ascii_lowercase()).map_or(0, |(g, _)| *g)
     }
 
     /// Looks up or errors.
@@ -220,7 +234,7 @@ impl ModelRepo {
 
     /// All registered names.
     pub fn names(&self) -> Vec<String> {
-        self.map.read().values().map(|s| s.name.clone()).collect()
+        self.map.read().values().map(|(_, s)| s.name.clone()).collect()
     }
 }
 
@@ -274,6 +288,17 @@ mod tests {
         assert!(repo.is_nudf("NUDF_DETECT"));
         assert!(repo.require("nudf_detect").is_ok());
         assert!(matches!(repo.require("nudf_ghost"), Err(Error::UnknownNudf(_))));
+    }
+
+    #[test]
+    fn reregistration_assigns_a_new_generation() {
+        let repo = ModelRepo::new();
+        assert_eq!(repo.generation("nudf_detect"), 0);
+        let g1 = repo.register(detect_spec());
+        assert_eq!(repo.generation("NUDF_DETECT"), g1);
+        let g2 = repo.register(detect_spec());
+        assert!(g2 > g1, "model swap gets a fresh generation");
+        assert_eq!(repo.generation("nudf_detect"), g2);
     }
 
     #[test]

@@ -10,10 +10,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dl2sql::{compile_model, hints, NeuralRegistry, Runner};
+use dl2sql::{hints, ArtifactCache, NeuralRegistry, PreJoinStrategy, Runner};
 use minidb::sql::ast::Query;
 use minidb::{Database, ScalarUdf};
 
+use crate::cache::{InferenceCache, InferenceKey};
 use crate::error::Result;
 use crate::metrics::{CostBreakdown, InferenceMeter, StrategyOutcome};
 use crate::nudf::{blob_to_tensor, ModelRepo};
@@ -27,10 +28,15 @@ pub struct Tight {
     registry: Arc<NeuralRegistry>,
     meter: Arc<InferenceMeter>,
     optimized: bool,
+    inference: Arc<InferenceCache>,
+    artifacts: Arc<ArtifactCache>,
 }
 
 impl Tight {
-    /// Builds the strategy over the shared database and repository.
+    /// Builds the strategy over the shared database and repository. Both
+    /// caches start disabled, preserving the paper's per-query
+    /// "integrated on the fly" loading cost; [`Tight::with_caches`]
+    /// attaches the engine's shared caches.
     pub fn new(
         db: Arc<Database>,
         repo: Arc<ModelRepo>,
@@ -38,7 +44,27 @@ impl Tight {
         meter: Arc<InferenceMeter>,
         optimized: bool,
     ) -> Self {
-        Tight { db, repo, registry, meter, optimized }
+        Tight {
+            db,
+            repo,
+            registry,
+            meter,
+            optimized,
+            inference: Arc::new(InferenceCache::new(0)),
+            artifacts: Arc::new(ArtifactCache::new(0)),
+        }
+    }
+
+    /// Attaches shared result-memoization and compiled-artifact caches
+    /// (capacity 0 in either leaves that level cold).
+    pub fn with_caches(
+        mut self,
+        inference: Arc<InferenceCache>,
+        artifacts: Arc<ArtifactCache>,
+    ) -> Self {
+        self.inference = inference;
+        self.artifacts = artifacts;
+        self
     }
 }
 
@@ -64,14 +90,10 @@ impl Strategy for Tight {
             // "Integrated into the system on the fly": the model — and,
             // for a conditional nUDF, every condition-selected variant —
             // is loaded from its source representation into relational
-            // tables per query.
+            // tables per query. With the artifact cache enabled, a warm
+            // query reuses the previous compilation instead.
             let make_runner = |m: &Arc<neuro::Model>| -> Result<Arc<Runner>> {
-                let compiled = Arc::new(compile_model(&self.db, &self.registry, m)?);
-                Ok(Arc::new(Runner::new(
-                    Arc::clone(&self.db),
-                    Arc::clone(&self.registry),
-                    compiled,
-                )?))
+                Ok(self.artifacts.runner_for(&self.db, &self.registry, m, PreJoinStrategy::None)?)
             };
             let default_runner = make_runner(&spec.model)?;
             let mut variant_runners: Vec<(f64, Arc<Runner>)> = Vec::new();
@@ -88,15 +110,29 @@ impl Strategy for Tight {
 
             let meter = Arc::clone(&self.meter);
             let output = spec.output.clone();
+            let memo = Arc::clone(&self.inference);
+            let generation = self.repo.generation(&spec.name);
             let mut udf = ScalarUdf::new(
                 &spec.name,
                 spec.arg_types(),
                 spec.output.data_type(),
                 move |args| {
+                    let condition = args.get(1).map(|v| v.as_f64()).transpose()?;
+                    let key = if memo.enabled() {
+                        let key = InferenceKey::new(generation, condition, &args[0])
+                            .map_err(|e| minidb::Error::Exec(e.to_string()))?;
+                        if let Some(v) = memo.get(&key) {
+                            // Memoized: no SQL program runs, no flops.
+                            return Ok(v);
+                        }
+                        Some(key)
+                    } else {
+                        None
+                    };
                     let tensor =
                         blob_to_tensor(&args[0]).map_err(|e| minidb::Error::Exec(e.to_string()))?;
                     // Condition-selected SQL program (paper Type 3).
-                    let runner = match args.get(1).map(|v| v.as_f64()).transpose()? {
+                    let runner = match condition {
                         Some(cond) => variant_runners
                             .iter()
                             .filter(|(min, _)| cond >= *min)
@@ -110,7 +146,11 @@ impl Strategy for Tight {
                         runner.infer(&tensor).map_err(|e| minidb::Error::Exec(e.to_string()))?;
                     meter.add(t.elapsed());
                     meter.clock.charge_flops(flops_per_inference);
-                    Ok(output.to_value(out.predicted_class))
+                    let value = output.to_value(out.predicted_class);
+                    if let Some(key) = key {
+                        memo.insert(key, value.clone());
+                    }
+                    Ok(value)
                 },
             )
             // Cost per row scales with model size (the customized model's
@@ -157,8 +197,12 @@ impl Tight {
         keyframe: &neuro::Tensor,
     ) -> Result<dl2sql::InferenceOutcome> {
         let spec = self.repo.require(nudf)?;
-        let compiled = Arc::new(compile_model(&self.db, &self.registry, &spec.model)?);
-        let runner = Runner::new(Arc::clone(&self.db), Arc::clone(&self.registry), compiled)?;
+        let runner = self.artifacts.runner_for(
+            &self.db,
+            &self.registry,
+            &spec.model,
+            PreJoinStrategy::None,
+        )?;
         Ok(runner.infer(keyframe)?)
     }
 }

@@ -87,7 +87,7 @@ impl Shape {
 }
 
 /// The pre-join strategies evaluated in paper Fig. 11.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PreJoinStrategy {
     /// The default program: a staging join (Q2) materializes the feature
     /// map, then the conv join (Q1) runs against the kernel table.

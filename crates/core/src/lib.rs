@@ -38,6 +38,7 @@
 //!   nothing to the convolution's `SUM`; the mapping table simply omits
 //!   them, which is mathematically identical and cheaper.
 
+pub mod cache;
 pub mod compiler;
 pub mod cost;
 pub mod error;
@@ -47,6 +48,7 @@ pub mod registry;
 pub mod runner;
 pub mod storage;
 
+pub use cache::ArtifactCache;
 pub use compiler::{
     compile_model, compile_model_with_strategy, CompiledModel, PreJoinStrategy, SqlStep, StepKind,
 };

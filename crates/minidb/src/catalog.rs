@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use cachekit::Epoch;
 use parking_lot::RwLock;
 
 use crate::error::{Error, Result};
@@ -16,12 +17,19 @@ struct Inner {
     views: HashMap<String, Arc<Query>>,
     /// Indices keyed by lower-cased table name.
     indexes: HashMap<String, Vec<Arc<HashIndex>>>,
+    /// Per-table version counters, keyed by lower-cased name. Entries
+    /// survive DROP so a later re-creation continues the sequence — a
+    /// (name, epoch) cache key can never alias across the drop.
+    table_epochs: HashMap<String, u64>,
 }
 
 /// Thread-safe name → object registry.
 #[derive(Default)]
 pub struct Catalog {
     inner: RwLock<Inner>,
+    /// Bumped on every mutation (DDL, data replacement, index builds).
+    /// Caches over planning artifacts key on this to stay coherent.
+    epoch: Epoch,
 }
 
 fn key(name: &str) -> String {
@@ -34,6 +42,26 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// The catalog-wide version counter. Any mutation — CREATE/DROP of
+    /// tables or views, INSERT/UPDATE data replacement, index builds —
+    /// bumps it, so a plan cached under one epoch is known valid iff the
+    /// epoch is unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.current()
+    }
+
+    /// The version counter of one table (0 for never-seen names). Survives
+    /// DROP: re-creating a table continues its sequence rather than
+    /// restarting at 0, so stale per-table cache entries can never alias.
+    pub fn table_epoch(&self, name: &str) -> u64 {
+        self.inner.read().table_epochs.get(&key(name)).copied().unwrap_or(0)
+    }
+
+    fn touch(&self, inner: &mut Inner, k: &str) {
+        *inner.table_epochs.entry(k.to_string()).or_insert(0) += 1;
+        self.epoch.bump();
+    }
+
     /// Registers a table. Fails if a table or view of that name exists and
     /// `or_replace` is false.
     pub fn create_table(&self, name: &str, table: Table, or_replace: bool) -> Result<()> {
@@ -44,7 +72,8 @@ impl Catalog {
         }
         inner.indexes.remove(&k);
         inner.views.remove(&k);
-        inner.tables.insert(k, Arc::new(table));
+        inner.tables.insert(k.clone(), Arc::new(table));
+        self.touch(&mut inner, &k);
         Ok(())
     }
 
@@ -56,7 +85,8 @@ impl Catalog {
             return Err(Error::AlreadyExists(format!("table or view '{name}'")));
         }
         inner.tables.remove(&k);
-        inner.views.insert(k, Arc::new(query));
+        inner.views.insert(k.clone(), Arc::new(query));
+        self.touch(&mut inner, &k);
         Ok(())
     }
 
@@ -79,7 +109,8 @@ impl Catalog {
         }
         // Data changed: indices over the old snapshot are stale.
         inner.indexes.remove(&k);
-        inner.tables.insert(k, Arc::new(table));
+        inner.tables.insert(k.clone(), Arc::new(table));
+        self.touch(&mut inner, &k);
         Ok(())
     }
 
@@ -89,6 +120,7 @@ impl Catalog {
         let k = key(name);
         inner.indexes.remove(&k);
         if inner.tables.remove(&k).is_some() {
+            self.touch(&mut inner, &k);
             Ok(true)
         } else if if_exists {
             Ok(false)
@@ -100,7 +132,9 @@ impl Catalog {
     /// Drops a view; `Ok(false)` when absent and `if_exists`.
     pub fn drop_view(&self, name: &str, if_exists: bool) -> Result<bool> {
         let mut inner = self.inner.write();
-        if inner.views.remove(&key(name)).is_some() {
+        let k = key(name);
+        if inner.views.remove(&k).is_some() {
+            self.touch(&mut inner, &k);
             Ok(true)
         } else if if_exists {
             Ok(false)
@@ -119,6 +153,10 @@ impl Catalog {
         let list = inner.indexes.entry(key(table_name)).or_default();
         list.retain(|i| !i.column.eq_ignore_ascii_case(column));
         list.push(idx);
+        // A new index can change which plan the optimizer would pick, but
+        // leaves the table's data (and thus its stats) untouched: bump the
+        // catalog epoch only.
+        self.epoch.bump();
         Ok(())
     }
 
@@ -190,6 +228,29 @@ mod tests {
         assert!(c.index("t", "id").is_some());
         c.replace_table("t", t(vec![1, 2, 3, 4])).unwrap();
         assert!(c.index("t", "id").is_none(), "index must be invalidated");
+    }
+
+    #[test]
+    fn epochs_advance_on_mutation_and_survive_drop() {
+        let c = Catalog::new();
+        let e0 = c.epoch();
+        assert_eq!(c.table_epoch("t"), 0);
+        c.create_table("t", t(vec![1]), false).unwrap();
+        assert!(c.epoch() > e0);
+        let te1 = c.table_epoch("T");
+        assert!(te1 > 0, "case-insensitive per-table epoch");
+        c.replace_table("t", t(vec![1, 2])).unwrap();
+        assert!(c.table_epoch("t") > te1);
+        // DROP + re-CREATE keeps counting up: no (name, epoch) aliasing.
+        let te2 = c.table_epoch("t");
+        c.drop_table("t", false).unwrap();
+        c.create_table("t", t(vec![1]), false).unwrap();
+        assert!(c.table_epoch("t") > te2);
+        // Index creation bumps the catalog epoch but not the table's.
+        let (ge, te) = (c.epoch(), c.table_epoch("t"));
+        c.create_index("t", "id").unwrap();
+        assert!(c.epoch() > ge);
+        assert_eq!(c.table_epoch("t"), te);
     }
 
     #[test]

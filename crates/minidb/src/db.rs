@@ -27,11 +27,18 @@ pub struct QueryResult {
     rows_affected: usize,
     elapsed: std::time::Duration,
     rows_scanned: u64,
+    plan_cache_hit: bool,
 }
 
 impl QueryResult {
     fn of(table: Table, rows_affected: usize) -> Self {
-        QueryResult { table, rows_affected, elapsed: std::time::Duration::ZERO, rows_scanned: 0 }
+        QueryResult {
+            table,
+            rows_affected,
+            elapsed: std::time::Duration::ZERO,
+            rows_scanned: 0,
+            plan_cache_hit: false,
+        }
     }
 
     /// The result table (empty for DML/DDL statements).
@@ -70,6 +77,13 @@ impl QueryResult {
         self.rows_scanned
     }
 
+    /// Whether `Database::execute` served this SELECT from the plan cache
+    /// (skipping parse + plan). Always false for prepared queries and
+    /// non-SELECT statements.
+    pub fn plan_cache_hit(&self) -> bool {
+        self.plan_cache_hit
+    }
+
     /// A one-line human summary ("3 rows in 1.24 ms, 12 rows scanned").
     pub fn summary(&self) -> String {
         format!(
@@ -92,6 +106,13 @@ pub struct Database {
     exec_config: RwLock<ExecConfig>,
     optimizer_config: RwLock<OptimizerConfig>,
     cost_model: RwLock<Arc<dyn CostModel>>,
+    /// Normalized SQL → (plan epoch at plan time, optimized plan). Entries
+    /// whose stamp differs from the current [`Database::plan_epoch`] are
+    /// treated as misses and replaced.
+    plan_cache: cachekit::LruCache<String, (u64, Arc<LogicalPlan>)>,
+    /// Bumped when the optimizer/executor configuration or cost model is
+    /// swapped mid-session — all of which can change which plan is best.
+    config_epoch: cachekit::Epoch,
 }
 
 impl Default for Database {
@@ -149,8 +170,15 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Entries in the ad-hoc `execute` plan cache; `0` disables it.
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.exec_config.plan_cache_capacity = capacity;
+        self
+    }
+
     /// Builds the database.
     pub fn build(self) -> Database {
+        let plan_cache = cachekit::LruCache::new(self.exec_config.plan_cache_capacity);
         Database {
             catalog: Catalog::new(),
             udfs: UdfRegistry::new(),
@@ -159,8 +187,46 @@ impl DatabaseBuilder {
             exec_config: RwLock::new(self.exec_config),
             optimizer_config: RwLock::new(self.optimizer_config),
             cost_model: RwLock::new(self.cost_model),
+            plan_cache,
+            config_epoch: cachekit::Epoch::new(),
         }
     }
+}
+
+/// Collapses whitespace runs to single spaces and trims, so formatting
+/// variants of the same statement share a plan-cache entry. Case and quoted
+/// literals are preserved: distinct texts may at worst miss, never collide.
+fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut in_quote: Option<char> = None;
+    let mut pending_space = false;
+    for c in sql.trim().chars() {
+        match in_quote {
+            Some(q) => {
+                out.push(c);
+                if c == q {
+                    in_quote = None;
+                }
+            }
+            None if c == '\'' || c == '"' => {
+                if pending_space {
+                    out.push(' ');
+                    pending_space = false;
+                }
+                out.push(c);
+                in_quote = Some(c);
+            }
+            None if c.is_whitespace() => pending_space = true,
+            None => {
+                if pending_space {
+                    out.push(' ');
+                    pending_space = false;
+                }
+                out.push(c);
+            }
+        }
+    }
+    out
 }
 
 impl Database {
@@ -197,8 +263,10 @@ impl Database {
 
     /// Replaces the cost model mid-session, returning the previous one.
     /// The DL2SQL hint rules install and uninstall the paper's customized
-    /// model around individual queries through this.
+    /// model around individual queries through this. Invalidates cached
+    /// plans (a different model can prefer different plans).
     pub fn swap_cost_model(&self, model: Arc<dyn CostModel>) -> Arc<dyn CostModel> {
+        self.config_epoch.bump();
         std::mem::replace(&mut *self.cost_model.write(), model)
     }
 
@@ -208,8 +276,9 @@ impl Database {
     }
 
     /// Replaces the optimizer configuration mid-session, returning the
-    /// previous one.
+    /// previous one. Invalidates cached plans.
     pub fn swap_optimizer_config(&self, config: OptimizerConfig) -> OptimizerConfig {
+        self.config_epoch.bump();
         std::mem::replace(&mut *self.optimizer_config.write(), config)
     }
 
@@ -219,8 +288,11 @@ impl Database {
     }
 
     /// Replaces the executor configuration mid-session, returning the
-    /// previous one.
+    /// previous one. Invalidates cached plans (parallelism feeds the cost
+    /// model) and applies the new plan-cache capacity.
     pub fn swap_exec_config(&self, config: ExecConfig) -> ExecConfig {
+        self.config_epoch.bump();
+        self.plan_cache.set_capacity(config.plan_cache_capacity);
         std::mem::replace(&mut *self.exec_config.write(), config)
     }
 
@@ -229,40 +301,66 @@ impl Database {
         self.exec_config.read().clone()
     }
 
-    #[deprecated(
-        note = "configure through Database::builder(); use swap_cost_model for mid-session changes"
-    )]
-    /// Installs a cost model. Deprecated shim over [`Database::swap_cost_model`].
-    pub fn set_cost_model(&self, model: Arc<dyn CostModel>) {
-        self.swap_cost_model(model);
-    }
-
-    #[deprecated(
-        note = "configure through Database::builder(); use swap_optimizer_config for mid-session changes"
-    )]
-    /// Replaces the optimizer configuration. Deprecated shim over
-    /// [`Database::swap_optimizer_config`].
-    pub fn set_optimizer_config(&self, config: OptimizerConfig) {
-        self.swap_optimizer_config(config);
-    }
-
-    #[deprecated(
-        note = "configure through Database::builder(); use swap_exec_config for mid-session changes"
-    )]
-    /// Replaces the executor configuration. Deprecated shim over
-    /// [`Database::swap_exec_config`].
-    pub fn set_exec_config(&self, config: ExecConfig) {
-        self.swap_exec_config(config);
-    }
-
     // ------------------------------------------------------------------
     // statement execution
     // ------------------------------------------------------------------
 
-    /// Parses and executes a single SQL statement.
+    /// The epoch cached plans are validated against: any catalog mutation,
+    /// UDF (re-)registration, or config/cost-model swap moves it. Each
+    /// component only ever increments, so the sum changes whenever any of
+    /// them does.
+    fn plan_epoch(&self) -> u64 {
+        self.catalog.epoch() + self.udfs.epoch() + self.config_epoch.current()
+    }
+
+    /// Live entries in the ad-hoc plan cache (observability/tests).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// Parses and executes a single SQL statement. Repeated SELECTs are
+    /// served from an epoch-validated plan cache, skipping parse + plan
+    /// entirely; any catalog change invalidates affected entries wholesale.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        if self.plan_cache.capacity() == 0 {
+            let stmt = parser::parse_statement(sql)?;
+            return self.execute_statement(&stmt);
+        }
+        let key = normalize_sql(sql);
+        // Read the epoch before planning: a concurrent mutation between
+        // here and insert leaves the entry stamped old → next lookup
+        // misses and replans. Stale-but-marked-fresh can't happen.
+        let epoch = self.plan_epoch();
+        if let Some((cached_epoch, plan)) = self.plan_cache.get(&key) {
+            if cached_epoch == epoch {
+                self.profiler.record_plan_cache(true);
+                let mut result = self.run_plan_timed(&plan)?;
+                result.plan_cache_hit = true;
+                return Ok(result);
+            }
+            self.plan_cache.remove(&key);
+        }
         let stmt = parser::parse_statement(sql)?;
+        if let Statement::Query(q) = &stmt {
+            self.profiler.record_plan_cache(false);
+            let plan = Arc::new(self.plan_query(q)?);
+            self.plan_cache.insert(key, (epoch, Arc::clone(&plan)));
+            return self.run_plan_timed(&plan);
+        }
         self.execute_statement(&stmt)
+    }
+
+    /// Executes an optimized plan, stamping timing + rows-scanned metadata.
+    fn run_plan_timed(&self, plan: &LogicalPlan) -> Result<QueryResult> {
+        let scanned_before = self.profiler.rows_out(OperatorKind::Scan);
+        let start = std::time::Instant::now();
+        let table = self.execute_plan(plan)?;
+        let rows = table.num_rows();
+        let mut result = QueryResult::of(table, rows);
+        result.elapsed = start.elapsed();
+        result.rows_scanned =
+            self.profiler.rows_out(OperatorKind::Scan).saturating_sub(scanned_before);
+        Ok(result)
     }
 
     /// Executes a semicolon-separated script, returning the last result.
@@ -593,15 +691,7 @@ impl PreparedQuery<'_> {
     /// Executes the prepared plan, stamping timing metadata like
     /// [`Database::execute_statement`] (without the parse/plan cost).
     pub fn run(&self) -> Result<QueryResult> {
-        let scanned_before = self.db.profiler.rows_out(OperatorKind::Scan);
-        let start = std::time::Instant::now();
-        let table = self.db.execute_plan(&self.plan)?;
-        let rows = table.num_rows();
-        let mut result = QueryResult::of(table, rows);
-        result.elapsed = start.elapsed();
-        result.rows_scanned =
-            self.db.profiler.rows_out(OperatorKind::Scan).saturating_sub(scanned_before);
-        Ok(result)
+        self.db.run_plan_timed(&self.plan)
     }
 }
 
@@ -923,6 +1013,127 @@ mod tests {
         // Anonymous form too.
         db.execute("CREATE INDEX ON video (transID)").unwrap();
         assert!(db.catalog().index("video", "transID").is_some());
+    }
+
+    #[test]
+    fn normalize_sql_collapses_whitespace_outside_quotes() {
+        assert_eq!(normalize_sql("  SELECT  1\n\t FROM   t "), "SELECT 1 FROM t");
+        assert_eq!(normalize_sql("SELECT 'a  b' FROM t"), "SELECT 'a  b' FROM t");
+        assert_ne!(normalize_sql("SELECT 'x y'"), normalize_sql("SELECT 'x  y'"));
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_and_formatting_variants() {
+        let db = db_with_data();
+        let sql = "SELECT transID FROM fabric WHERE meter > 3.0";
+        let cold = db.execute(sql).unwrap();
+        assert!(!cold.plan_cache_hit());
+        let warm = db.execute(sql).unwrap();
+        assert!(warm.plan_cache_hit());
+        assert_eq!(warm.table().num_rows(), cold.table().num_rows());
+        // Whitespace variants share the entry.
+        let variant = db.execute("SELECT transID\n  FROM fabric   WHERE meter > 3.0").unwrap();
+        assert!(variant.plan_cache_hit());
+        let s = db.profiler().plan_cache_stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_insert_update_and_ddl() {
+        let db = db_with_data();
+        let sql = "SELECT count(*) FROM fabric WHERE meter > 3.0";
+        assert_eq!(db.execute(sql).unwrap().table().column(0).i64_at(0), 3);
+        assert!(db.execute(sql).unwrap().plan_cache_hit());
+        // INSERT: next run must not be a (stale) hit and must see new data.
+        db.execute("INSERT INTO fabric VALUES (5, 40, 9.0, '2021-03-01', 50.0)").unwrap();
+        let r = db.execute(sql).unwrap();
+        assert!(!r.plan_cache_hit());
+        assert_eq!(r.table().column(0).i64_at(0), 4);
+        assert!(db.execute(sql).unwrap().plan_cache_hit());
+        // UPDATE invalidates too.
+        db.execute("UPDATE fabric SET meter = 1.0 WHERE transID = 5").unwrap();
+        let r = db.execute(sql).unwrap();
+        assert!(!r.plan_cache_hit());
+        assert_eq!(r.table().column(0).i64_at(0), 3);
+        // DDL on an unrelated table still invalidates (epoch is global).
+        db.execute("CREATE TABLE other (x Int64)").unwrap();
+        assert!(!db.execute(sql).unwrap().plan_cache_hit());
+    }
+
+    #[test]
+    fn plan_cache_respects_view_redefinition() {
+        // views_are_inlined semantics must survive caching: the view body
+        // is frozen into the plan, so redefining it must invalidate.
+        let db = db_with_data();
+        db.execute("CREATE VIEW heavy AS SELECT meter FROM fabric WHERE meter > 4.0").unwrap();
+        let sql = "SELECT count(*) FROM heavy";
+        assert_eq!(db.execute(sql).unwrap().table().column(0).i64_at(0), 2);
+        db.execute("DROP VIEW heavy").unwrap();
+        db.execute("CREATE VIEW heavy AS SELECT meter FROM fabric WHERE meter > 2.0").unwrap();
+        let r = db.execute(sql).unwrap();
+        assert!(!r.plan_cache_hit());
+        assert_eq!(r.table().column(0).i64_at(0), 4);
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_udf_and_config_swaps() {
+        let db = db_with_data();
+        db.register_udf(ScalarUdf::new("thr", vec![DataType::Float64], DataType::Bool, |a| {
+            Ok(Value::Bool(a[0].as_f64()? > 3.0))
+        }));
+        let sql = "SELECT count(*) FROM fabric WHERE thr(meter) = TRUE";
+        assert_eq!(db.execute(sql).unwrap().table().column(0).i64_at(0), 3);
+        assert!(db.execute(sql).unwrap().plan_cache_hit());
+        // Re-registering the UDF with different behavior must invalidate.
+        db.register_udf(ScalarUdf::new("thr", vec![DataType::Float64], DataType::Bool, |a| {
+            Ok(Value::Bool(a[0].as_f64()? > 100.0))
+        }));
+        let r = db.execute(sql).unwrap();
+        assert!(!r.plan_cache_hit());
+        assert_eq!(r.table().column(0).i64_at(0), 0);
+        // Config swaps invalidate as well.
+        assert!(db.execute(sql).unwrap().plan_cache_hit());
+        db.swap_optimizer_config(db.optimizer_config());
+        assert!(!db.execute(sql).unwrap().plan_cache_hit());
+    }
+
+    #[test]
+    fn plan_cache_evicts_lru_under_tiny_capacity() {
+        let db = Database::builder().plan_cache_capacity(2).build();
+        db.execute_script("CREATE TABLE t (a Int64); INSERT INTO t VALUES (1), (2);").unwrap();
+        let q1 = "SELECT a FROM t";
+        let q2 = "SELECT a FROM t WHERE a > 1";
+        let q3 = "SELECT count(*) FROM t";
+        db.execute(q1).unwrap();
+        db.execute(q2).unwrap();
+        assert_eq!(db.plan_cache_len(), 2);
+        // q3 evicts the coldest (q1).
+        db.execute(q3).unwrap();
+        assert_eq!(db.plan_cache_len(), 2);
+        assert!(!db.execute(q1).unwrap().plan_cache_hit(), "q1 was evicted");
+        assert!(db.execute(q3).unwrap().plan_cache_hit());
+    }
+
+    #[test]
+    fn plan_cache_capacity_zero_disables() {
+        let db = Database::builder().plan_cache_capacity(0).build();
+        db.execute("CREATE TABLE t (a Int64)").unwrap();
+        db.execute("SELECT a FROM t").unwrap();
+        let r = db.execute("SELECT a FROM t").unwrap();
+        assert!(!r.plan_cache_hit());
+        assert_eq!(db.plan_cache_len(), 0);
+        let s = db.profiler().plan_cache_stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "disabled cache records nothing");
+    }
+
+    #[test]
+    fn prepared_queries_observe_data_changes() {
+        let db = db_with_data();
+        let prepared = db.prepare("SELECT count(*) FROM video").unwrap();
+        assert_eq!(prepared.run().unwrap().table().column(0).i64_at(0), 4);
+        db.execute("INSERT INTO video VALUES (10, 1000)").unwrap();
+        assert_eq!(prepared.run().unwrap().table().column(0).i64_at(0), 5);
+        assert!(!prepared.run().unwrap().plan_cache_hit());
     }
 
     #[test]

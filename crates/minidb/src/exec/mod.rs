@@ -37,6 +37,10 @@ pub struct ExecConfig {
     /// Inputs below this row count stay serial even when `parallelism > 1`
     /// (fan-out overhead dominates on small tables).
     pub min_parallel_rows: usize,
+    /// Entries in the ad-hoc `Database::execute` plan cache (normalized SQL
+    /// text → optimized plan, validated against the catalog epoch). `0`
+    /// disables the cache.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for ExecConfig {
@@ -47,6 +51,7 @@ impl Default for ExecConfig {
             parallelism: 1,
             morsel_rows: 4096,
             min_parallel_rows: 4096,
+            plan_cache_capacity: 64,
         }
     }
 }

@@ -61,6 +61,7 @@ pub struct OperatorStats {
 #[derive(Debug, Default)]
 pub struct Profiler {
     map: Mutex<HashMap<OperatorKind, OperatorStats>>,
+    plan_cache: cachekit::CacheStats,
 }
 
 impl Profiler {
@@ -109,9 +110,25 @@ impl Profiler {
         self.map.lock().values().map(|s| s.total).sum()
     }
 
+    /// Records one plan-cache lookup for a SELECT going through
+    /// `Database::execute` (DDL/DML statements are not counted).
+    pub fn record_plan_cache(&self, hit: bool) {
+        if hit {
+            self.plan_cache.record_hit();
+        } else {
+            self.plan_cache.record_miss();
+        }
+    }
+
+    /// Plan-cache hit/miss counters since the last reset.
+    pub fn plan_cache_stats(&self) -> cachekit::StatsSnapshot {
+        self.plan_cache.snapshot()
+    }
+
     /// Clears all accumulated stats.
     pub fn reset(&self) {
         self.map.lock().clear();
+        self.plan_cache.reset();
     }
 }
 
@@ -139,6 +156,18 @@ mod tests {
         p.record(OperatorKind::Sort, Duration::from_millis(1), 0);
         p.reset();
         assert!(p.snapshot().is_empty());
+    }
+
+    #[test]
+    fn plan_cache_counters_accumulate_and_reset() {
+        let p = Profiler::new();
+        p.record_plan_cache(false);
+        p.record_plan_cache(true);
+        p.record_plan_cache(true);
+        let s = p.plan_cache_stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        p.reset();
+        assert_eq!(p.plan_cache_stats().hits, 0);
     }
 
     #[test]

@@ -38,11 +38,13 @@ impl TableStats {
     }
 }
 
-/// Cache of computed statistics, keyed by table name and invalidated when
-/// the table's row count changes (a pragmatic staleness proxy).
+/// Cache of computed statistics, keyed by table name and invalidated via
+/// the catalog's per-table epoch: any data replacement bumps the epoch, so
+/// same-cardinality UPDATEs (which a row-count check would miss) correctly
+/// force a recompute of min/max/NDV.
 #[derive(Debug, Default)]
 pub struct StatsCache {
-    map: Mutex<HashMap<String, (usize, Arc<TableStats>)>>,
+    map: Mutex<HashMap<String, (u64, Arc<TableStats>)>>,
 }
 
 impl StatsCache {
@@ -53,18 +55,22 @@ impl StatsCache {
 
     /// Statistics for a catalog table, computing and caching on demand.
     pub fn stats_for(&self, catalog: &Catalog, name: &str) -> Option<Arc<TableStats>> {
+        // Read the epoch before the snapshot: if a writer lands in between,
+        // we cache fresh data under an old epoch and merely recompute next
+        // time — never the reverse.
+        let epoch = catalog.table_epoch(name);
         let table = catalog.table(name)?;
         let key = name.to_ascii_lowercase();
         {
             let map = self.map.lock();
-            if let Some((rows, stats)) = map.get(&key) {
-                if *rows == table.num_rows() {
+            if let Some((cached_epoch, stats)) = map.get(&key) {
+                if *cached_epoch == epoch {
                     return Some(Arc::clone(stats));
                 }
             }
         }
         let stats = Arc::new(TableStats::compute(&table));
-        self.map.lock().insert(key, (table.num_rows(), Arc::clone(&stats)));
+        self.map.lock().insert(key, (epoch, Arc::clone(&stats)));
         Some(stats)
     }
 
@@ -106,5 +112,27 @@ mod tests {
         let s2 = cache.stats_for(&c, "t").unwrap();
         assert_eq!(s2.rows, 3);
         assert!(cache.stats_for(&c, "nope").is_none());
+    }
+
+    #[test]
+    fn cache_invalidates_on_same_cardinality_update() {
+        // An UPDATE that keeps the row count but changes the values must
+        // refresh NDV — the old row-count proxy silently kept stale stats.
+        let c = Catalog::new();
+        c.create_table("t", t(vec![1, 1, 1]), false).unwrap();
+        let cache = StatsCache::new();
+        assert_eq!(cache.stats_for(&c, "t").unwrap().ndv("k"), Some(1));
+        c.replace_table("t", t(vec![1, 2, 3])).unwrap();
+        assert_eq!(cache.stats_for(&c, "t").unwrap().ndv("k"), Some(3));
+    }
+
+    #[test]
+    fn cache_hit_returns_same_snapshot() {
+        let c = Catalog::new();
+        c.create_table("t", t(vec![1, 2]), false).unwrap();
+        let cache = StatsCache::new();
+        let s1 = cache.stats_for(&c, "t").unwrap();
+        let s2 = cache.stats_for(&c, "t").unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "unchanged table served from cache");
     }
 }

@@ -135,6 +135,10 @@ impl ScalarUdf {
 #[derive(Debug, Default)]
 pub struct UdfRegistry {
     map: RwLock<HashMap<String, Arc<ScalarUdf>>>,
+    /// Bumped on register/unregister. Cached plans capture bound UDF
+    /// closures, so a re-registration must invalidate them; the plan cache
+    /// folds this counter into its epoch.
+    epoch: cachekit::Epoch,
 }
 
 impl UdfRegistry {
@@ -143,9 +147,15 @@ impl UdfRegistry {
         UdfRegistry::default()
     }
 
+    /// The registry's version counter (bumped by register/unregister).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.current()
+    }
+
     /// Registers (or replaces) a UDF.
     pub fn register(&self, udf: ScalarUdf) {
         self.map.write().insert(udf.name.to_ascii_lowercase(), Arc::new(udf));
+        self.epoch.bump();
     }
 
     /// Looks up a UDF by case-insensitive name.
@@ -155,7 +165,11 @@ impl UdfRegistry {
 
     /// Removes a UDF; true if it existed.
     pub fn unregister(&self, name: &str) -> bool {
-        self.map.write().remove(&name.to_ascii_lowercase()).is_some()
+        let removed = self.map.write().remove(&name.to_ascii_lowercase()).is_some();
+        if removed {
+            self.epoch.bump();
+        }
+        removed
     }
 
     /// Names of all registered UDFs.

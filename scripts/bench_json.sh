@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Cache bench smoke: runs the cold-vs-warm cache benchmark and emits
+# BENCH_cache.json (per-strategy speedups, cache hit rates, and the
+# bit-identity check at parallelism 1/2/8). The binary exits non-zero if
+# the warm mix is not at least 2x faster than cold or any cached result
+# diverges from the uncached reference.
+#
+# Usage: scripts/bench_json.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-${BENCH_JSON_OUT:-BENCH_cache.json}}"
+BENCH_JSON_OUT="$OUT" cargo run --release -q -p bench --bin bench_cache
+echo "--- $OUT ---"
+cat "$OUT"

@@ -1,0 +1,257 @@
+//! Integration tests for the multi-level caching subsystem: the SQL plan
+//! cache, nUDF inference memoization, and compiled-artifact reuse.
+//!
+//! The contract under test is always the same: caching changes *when work
+//! happens*, never *what comes out*. Cached results must be bit-identical
+//! to uncached ones at every parallelism level, and every write that could
+//! change an answer (INSERT/UPDATE/DDL, model swap) must invalidate.
+
+use std::sync::Arc;
+
+use collab::{CollabEngine, NudfOutput, NudfSpec, QueryType, StrategyKind};
+use minidb::{Database, Value};
+use workload::{build_dataset, build_repo, DatasetConfig, RepoConfig};
+
+/// Exact cell-by-cell comparison — floats included. Cached execution
+/// replays the same arithmetic (or returns the stored value), so there is
+/// no rounding to tolerate.
+fn assert_tables_identical(reference: &minidb::Table, got: &minidb::Table, ctx: &str) {
+    assert_eq!(reference.num_rows(), got.num_rows(), "{ctx}: row count");
+    assert_eq!(reference.num_columns(), got.num_columns(), "{ctx}: column count");
+    for c in 0..reference.num_columns() {
+        for r in 0..reference.num_rows() {
+            assert_eq!(
+                reference.column(c).value(r),
+                got.column(c).value(r),
+                "{ctx}: col {c} row {r}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level 1: the SQL plan cache
+// ---------------------------------------------------------------------------
+
+fn plan_db(plan_cache_capacity: usize) -> Database {
+    let db = Database::builder()
+        .exec_config(minidb::exec::ExecConfig { plan_cache_capacity, ..Default::default() })
+        .build();
+    db.execute_script(
+        "CREATE TABLE fm (MatrixID Int64, OrderID Int64, Value Float64); \
+         CREATE TABLE kernel (KernelID Int64, OrderID Int64, Value Float64);",
+    )
+    .unwrap();
+    let mut fm = Vec::new();
+    for m in 0..32i64 {
+        for o in 0..8i64 {
+            fm.push(format!("({m}, {o}, {}.5)", (m * 31 + o * 7) % 19));
+        }
+    }
+    db.execute(&format!("INSERT INTO fm VALUES {}", fm.join(","))).unwrap();
+    let mut kr = Vec::new();
+    for k in 0..4i64 {
+        for o in 0..8i64 {
+            kr.push(format!("({k}, {o}, {}.25)", (k * 13 + o * 3) % 7));
+        }
+    }
+    db.execute(&format!("INSERT INTO kernel VALUES {}", kr.join(","))).unwrap();
+    db
+}
+
+const PLAN_CORPUS: &[&str] = &[
+    "SELECT MatrixID, OrderID, Value FROM fm WHERE Value > 4.0 and OrderID < 6",
+    "SELECT MatrixID + OrderID AS mo, Value * 0.5 AS half FROM fm WHERE MatrixID >= 3",
+    "SELECT B.KernelID AS KernelID, A.MatrixID AS TupleID, SUM(A.Value * B.Value) AS Value \
+     FROM fm A INNER JOIN kernel B ON A.OrderID = B.OrderID \
+     GROUP BY B.KernelID, A.MatrixID ORDER BY KernelID, TupleID",
+    "SELECT MatrixID, count(*) AS n, SUM(Value) AS s, AVG(Value) AS a FROM fm \
+     GROUP BY MatrixID ORDER BY MatrixID",
+    "SELECT MatrixID, SUM(Value) AS s FROM fm GROUP BY MatrixID \
+     HAVING SUM(Value) > 20.0 ORDER BY MatrixID LIMIT 10",
+];
+
+#[test]
+fn plan_cache_matches_uncached_over_sql_corpus() {
+    let cached = plan_db(64);
+    let uncached = plan_db(0);
+    for sql in PLAN_CORPUS {
+        let reference = uncached.execute(sql).unwrap();
+        let cold = cached.execute(sql).unwrap();
+        assert!(!cold.plan_cache_hit(), "first execution must plan: {sql}");
+        let warm = cached.execute(sql).unwrap();
+        assert!(warm.plan_cache_hit(), "second execution must hit: {sql}");
+        assert_tables_identical(reference.table(), cold.table(), &format!("cold: {sql}"));
+        assert_tables_identical(reference.table(), warm.table(), &format!("warm: {sql}"));
+    }
+    let stats = cached.profiler().plan_cache_stats();
+    assert_eq!(stats.hits, PLAN_CORPUS.len() as u64);
+    assert_eq!(stats.misses, PLAN_CORPUS.len() as u64);
+}
+
+#[test]
+fn plan_cache_invalidates_on_insert_update_and_ddl() {
+    let cached = plan_db(64);
+    let uncached = plan_db(0);
+    let sql = "SELECT count(*) AS n, SUM(Value) AS s FROM fm WHERE Value > 4.0";
+    let mutations = [
+        "INSERT INTO fm VALUES (99, 0, 100.5)",
+        "UPDATE fm SET Value = 0.0 WHERE MatrixID = 99",
+        "CREATE TABLE unrelated (x Int64)",
+    ];
+    cached.execute(sql).unwrap();
+    for mutation in mutations {
+        cached.execute(mutation).unwrap();
+        uncached.execute(mutation).unwrap();
+        let after = cached.execute(sql).unwrap();
+        assert!(!after.plan_cache_hit(), "stale plan served after: {mutation}");
+        let reference = uncached.execute(sql).unwrap();
+        assert_tables_identical(reference.table(), after.table(), &format!("after {mutation}"));
+        // With the data quiescent again the very next execution hits.
+        assert!(cached.execute(sql).unwrap().plan_cache_hit());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Levels 2 + 3: nUDF memoization and compiled-artifact reuse
+// ---------------------------------------------------------------------------
+
+const KEYFRAME_SHAPE: [usize; 3] = [1, 8, 8];
+
+fn collab_db(parallelism: usize) -> Arc<Database> {
+    let db = Arc::new(
+        Database::builder()
+            .exec_config(minidb::exec::ExecConfig {
+                parallelism,
+                morsel_rows: 16,
+                min_parallel_rows: 0,
+                ..Default::default()
+            })
+            .build(),
+    );
+    build_dataset(
+        &db,
+        &DatasetConfig {
+            video_rows: 60,
+            keyframe_shape: KEYFRAME_SHAPE.to_vec(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    db
+}
+
+fn repo_config() -> RepoConfig {
+    RepoConfig {
+        keyframe_shape: KEYFRAME_SHAPE.to_vec(),
+        histogram_samples: 16,
+        ..Default::default()
+    }
+}
+
+fn corpus() -> Vec<String> {
+    let mut queries: Vec<String> =
+        [QueryType::Type1, QueryType::Type2, QueryType::Type3, QueryType::Type4]
+            .into_iter()
+            .map(|t| workload::queries::template(t, 0.1, "").sql)
+            .collect();
+    // The conditional Type 3: the condition argument must participate in
+    // the memoization key.
+    queries.push(workload::conditional_type3_template(0.1).sql);
+    queries
+}
+
+#[test]
+fn memoized_strategies_match_uncached_at_every_parallelism() {
+    let repo = build_repo(&repo_config());
+    let queries = corpus();
+    for parallelism in [1usize, 2, 8] {
+        let uncached = CollabEngine::new(collab_db(parallelism), Arc::clone(&repo));
+        let cached = CollabEngine::new(collab_db(parallelism), Arc::clone(&repo));
+        cached.set_inference_cache_capacity(4096);
+        cached.set_artifact_cache_capacity(16);
+        for kind in StrategyKind::all() {
+            for sql in &queries {
+                let ctx = |run: &str| format!("{} p={parallelism} {run}: {sql}", kind.label());
+                let reference = uncached
+                    .execute(sql, kind)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", ctx("reference")));
+                let cold = cached.execute(sql, kind).unwrap();
+                let warm = cached.execute(sql, kind).unwrap();
+                assert_tables_identical(&reference.table, &cold.table, &ctx("cold"));
+                assert_tables_identical(&reference.table, &warm.table, &ctx("warm"));
+            }
+        }
+        let stats = cached.inference_cache().stats();
+        assert!(stats.hits > 0, "warm runs must hit the memo (p={parallelism}): {stats:?}");
+        let artifacts = cached.artifact_cache().stats();
+        assert!(artifacts.hits > 0, "tight reruns must reuse compilations: {artifacts:?}");
+        assert_eq!(uncached.inference_cache().stats().hits, 0);
+    }
+}
+
+#[test]
+fn model_swap_invalidates_memoized_results_and_artifacts() {
+    let repo = build_repo(&repo_config());
+    let sql = workload::queries::template(QueryType::Type1, 0.2, "").sql;
+
+    let engine = CollabEngine::new(collab_db(1), Arc::clone(&repo));
+    engine.set_inference_cache_capacity(4096);
+    engine.set_artifact_cache_capacity(16);
+    engine.execute(&sql, StrategyKind::Tight).unwrap();
+    engine.execute(&sql, StrategyKind::Tight).unwrap();
+    assert!(engine.inference_cache().stats().hits > 0, "warm run primed the memo");
+    assert!(!engine.artifact_cache().is_empty(), "tight run compiled into the cache");
+
+    // Swap the model behind nUDF_classify (same name, new weights). The
+    // replacement must keep the label set — the query compares against
+    // 'Floral Pattern'.
+    let labels: Vec<String> = ["Floral Pattern", "Stripe", "Dots", "Plaid", "Paisley", "Solid"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let replacement = Arc::new(neuro::zoo::student(KEYFRAME_SHAPE.to_vec(), labels.len(), 4242));
+    engine.swap_nudf(NudfSpec::new(
+        "nUDF_classify",
+        Arc::clone(&replacement),
+        NudfOutput::Label { labels },
+        vec![],
+    ));
+    assert!(engine.artifact_cache().is_empty(), "swap must drop the old model's compilations");
+
+    // An uncached engine sharing the (already swapped) repository is the
+    // ground truth for the new model.
+    let reference_engine = CollabEngine::new(collab_db(1), Arc::clone(&repo));
+    let reference = reference_engine.execute(&sql, StrategyKind::Tight).unwrap();
+    for kind in [StrategyKind::Tight, StrategyKind::LooseUdf, StrategyKind::Independent] {
+        let swapped = engine.execute(&sql, kind).unwrap();
+        assert_tables_identical(
+            &reference.table,
+            &swapped.table,
+            &format!("post-swap {}", kind.label()),
+        );
+    }
+}
+
+#[test]
+fn inference_cache_stays_correct_under_tiny_capacity() {
+    let repo = build_repo(&repo_config());
+    let sql = workload::queries::template(QueryType::Type2, 0.3, "").sql;
+
+    let uncached = CollabEngine::new(collab_db(1), Arc::clone(&repo));
+    let reference = uncached.execute(&sql, StrategyKind::LooseUdf).unwrap();
+
+    let engine = CollabEngine::new(collab_db(1), Arc::clone(&repo));
+    // Far fewer slots than distinct keyframes: every execution churns.
+    engine.set_inference_cache_capacity(4);
+    for run in 0..3 {
+        let out = engine.execute(&sql, StrategyKind::LooseUdf).unwrap();
+        assert_tables_identical(&reference.table, &out.table, &format!("churn run {run}"));
+    }
+    let stats = engine.inference_cache().stats();
+    assert!(stats.evictions > 0, "tiny capacity must evict: {stats:?}");
+    assert!(engine.inference_cache().len() <= 8, "sharded capacity bound");
+    // Eviction only ever costs extra work, never correctness.
+    let value_type = reference.table.column(0).value(0);
+    assert!(!matches!(value_type, Value::Blob(_)), "sanity: output is scalar");
+}
