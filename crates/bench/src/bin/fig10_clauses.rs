@@ -49,7 +49,10 @@ fn main() {
             "ms": t * 1e3,
             "share": t / total,
         }));
-        if matches!(kind, OperatorKind::Join | OperatorKind::GroupBy) {
+        // The fused operator is join + group-by work in one pass, so it
+        // belongs in the paper's "Join and GroupBy dominate" bucket.
+        if matches!(kind, OperatorKind::Join | OperatorKind::GroupBy | OperatorKind::JoinAggregate)
+        {
             join_groupby += t;
         }
     }

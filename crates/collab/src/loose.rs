@@ -192,9 +192,14 @@ impl Strategy for LooseUdf {
             loading += t0.elapsed();
         }
 
-        // The stock optimizer: no UDF hints, no customized cost model.
+        // The stock optimizer: no UDF hints, no customized cost model. The
+        // fusion knob is sticky per database (harnesses toggle it to force
+        // the unfused join+group-by pair).
         self.db.swap_cost_model(Arc::new(minidb::DefaultCostModel::default()));
-        self.db.swap_optimizer_config(minidb::optimizer::OptimizerConfig::default());
+        self.db.swap_optimizer_config(minidb::optimizer::OptimizerConfig {
+            fuse_join_aggregates: self.db.optimizer_config().fuse_join_aggregates,
+            ..Default::default()
+        });
 
         // ---- run entirely inside the database ---------------------------
         let t_run = Instant::now();

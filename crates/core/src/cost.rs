@@ -62,6 +62,16 @@ impl Dl2SqlCostModel {
         let LogicalPlan::Join { left, right, .. } = plan else {
             return None;
         };
+        self.conv_sides_geometry(left, right)
+    }
+
+    /// Conv geometry from the two join inputs directly (shared by the
+    /// unfused `Join` and the fused `JoinAggregate` patterns).
+    fn conv_sides_geometry(
+        &self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+    ) -> Option<(u64, u64, u64)> {
         let (l, r) = (self.scan_role(left), self.scan_role(right));
         match (l, r) {
             (
@@ -84,6 +94,11 @@ impl Dl2SqlCostModel {
         else {
             return None;
         };
+        self.mapping_sides_rows(left, right)
+    }
+
+    /// Mapping cardinality from the two join inputs directly.
+    fn mapping_sides_rows(&self, left: &LogicalPlan, right: &LogicalPlan) -> Option<u64> {
         match (self.scan_role(left), self.scan_role(right)) {
             (Some(TableRole::Mapping { rows }), Some(TableRole::State { .. }))
             | (Some(TableRole::State { .. }), Some(TableRole::Mapping { rows })) => Some(rows),
@@ -203,6 +218,50 @@ impl CostModel for Dl2SqlCostModel {
                 PlanCost {
                     rows,
                     cost: child.cost + child.rows * (1.0 + udf) * parallel_discount(ctx),
+                }
+            }
+
+            LogicalPlan::JoinAggregate { left, right, keys, group, aggs, .. } => {
+                let l = self.estimate(left, ctx);
+                let r = self.estimate(right, ctx);
+                // Fused conv join + group-by: T_in·N_out pair emissions
+                // (Eq. 5–6) fold straight into T_in·N_out/k_in groups; the
+                // intermediate table — and the unfused plan's extra
+                // aggregation pass over it — never exists.
+                if let Some((t_in, k_in, n_out)) = self.conv_sides_geometry(left, right) {
+                    let pairs = (t_in * n_out) as f64;
+                    let rows = (pairs / k_in as f64).max(1.0);
+                    let cost = l.cost + r.cost + (t_in as f64 + pairs) * parallel_discount(ctx);
+                    return PlanCost { rows, cost };
+                }
+                // Fused pooling: each mapping row matches one state cell,
+                // folded during a cache-resident sequential pass.
+                if let Some(map_rows) = self.mapping_sides_rows(left, right) {
+                    let pairs = map_rows as f64;
+                    let rows = if group.is_empty() { 1.0 } else { (pairs * 0.1).max(1.0) };
+                    return PlanCost {
+                        rows,
+                        cost: l.cost + r.cost + pairs * SEQ_WEIGHT * parallel_discount(ctx),
+                    };
+                }
+                // Generic fused pair: the default Join + Aggregate formulas
+                // minus the join-output materialization pass.
+                let mut sel = 1.0;
+                for (lk, rk) in keys {
+                    sel *= self.fallback.join_key_selectivity(lk, left, rk, right, ctx);
+                }
+                let join_rows = (l.rows * r.rows * sel).max(1.0);
+                let rows = if group.is_empty() { 1.0 } else { (join_rows * 0.1).max(1.0) };
+                let udf: f64 = aggs
+                    .iter()
+                    .filter_map(|a| a.arg.as_ref())
+                    .map(|e| udf_cost_of_expr(e, ctx))
+                    .sum();
+                let build = l.rows.min(r.rows);
+                let own = l.rows + r.rows + join_rows * (1.0 + udf);
+                PlanCost {
+                    rows,
+                    cost: l.cost + r.cost + build + (own - build) * parallel_discount(ctx),
                 }
             }
 

@@ -55,6 +55,9 @@ pub fn enable_op(db: &Database, registry: Arc<NeuralRegistry>) {
         reorder_joins: true,
         udf_placement_hints: true,
         symmetric_for_udf_joins: true,
+        // Sticky per database: harnesses force the unfused join+group-by
+        // pair by turning this off before running a strategy.
+        fuse_join_aggregates: db.optimizer_config().fuse_join_aggregates,
     });
 }
 
@@ -66,6 +69,7 @@ pub fn disable_op(db: &Database) {
         reorder_joins: true,
         udf_placement_hints: false,
         symmetric_for_udf_joins: false,
+        fuse_join_aggregates: db.optimizer_config().fuse_join_aggregates,
     });
 }
 

@@ -231,7 +231,45 @@ impl Column {
 
     /// Hash keys for the whole column.
     pub fn keys(&self) -> Vec<Key> {
-        (0..self.len()).map(|i| self.value(i).to_key()).collect()
+        (0..self.len()).map(|i| self.key_at(i)).collect()
+    }
+
+    /// The hash key at `row`, built without materializing an intermediate
+    /// [`Value`] (avoids a throw-away `String`/`Vec` clone per row on
+    /// Utf8/Blob columns; identical to `value(row).to_key()`).
+    pub fn key_at(&self, row: usize) -> Key {
+        match self {
+            Column::Int64(v) => Key::Int(v[row]),
+            Column::Float64(v) => {
+                let x = v[row];
+                if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                    Key::Int(x as i64)
+                } else {
+                    Key::FloatBits(x.to_bits())
+                }
+            }
+            Column::Bool(v) => Key::Bool(v[row]),
+            Column::Utf8(v) => Key::Str(v[row].clone()),
+            Column::Date(v) => Key::Int(v[row] as i64),
+            Column::Blob(v) => Key::Bytes(v[row].as_ref().clone()),
+        }
+    }
+
+    /// The raw `i64` rows (Int64 columns only) — typed fast paths read
+    /// these instead of per-row [`Value`]s.
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw `f64` rows (Float64 columns only).
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float64(v) => Some(v),
+            _ => None,
+        }
     }
 
     /// Approximate in-memory size in bytes (used by the storage-overhead
@@ -299,6 +337,30 @@ mod tests {
         // An Int64 join key must meet an equal Float64 key, mirroring sql_eq.
         assert_eq!(Value::Int64(7).to_key(), Value::Float64(7.0).to_key());
         assert_ne!(Value::Int64(7).to_key(), Value::Float64(7.5).to_key());
+    }
+
+    #[test]
+    fn key_at_agrees_with_value_to_key() {
+        let cols = [
+            Column::Int64(vec![3]),
+            Column::Float64(vec![2.5]),
+            Column::Float64(vec![7.0]),
+            Column::Bool(vec![true]),
+            Column::Utf8(vec!["x".into()]),
+            Column::Date(vec![11]),
+            Column::Blob(vec![Arc::new(vec![1u8, 2])]),
+        ];
+        for c in &cols {
+            assert_eq!(c.key_at(0), c.value(0).to_key(), "{}", c.data_type());
+        }
+    }
+
+    #[test]
+    fn typed_slice_accessors() {
+        assert_eq!(Column::Int64(vec![1, 2]).as_i64_slice(), Some(&[1i64, 2][..]));
+        assert_eq!(Column::Float64(vec![0.5]).as_f64_slice(), Some(&[0.5][..]));
+        assert_eq!(Column::Int64(vec![1]).as_f64_slice(), None);
+        assert_eq!(Column::Float64(vec![0.5]).as_i64_slice(), None);
     }
 
     #[test]

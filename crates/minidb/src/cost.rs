@@ -218,6 +218,62 @@ impl CostModel for DefaultCostModel {
                     cost: child.cost + child.rows * (1.0 + udf) * parallel_discount(ctx),
                 }
             }
+            LogicalPlan::JoinAggregate { left, right, keys, group, aggs, .. } => {
+                let l = self.estimate(left, ctx);
+                let r = self.estimate(right, ctx);
+                let mut sel = 1.0;
+                for (lk, rk) in keys {
+                    sel *= self.join_key_selectivity(lk, left, rk, right, ctx);
+                }
+                let join_rows = (l.rows * r.rows * sel).max(1.0);
+                let rows = if group.is_empty() {
+                    1.0
+                } else {
+                    let n_left = left.schema().len();
+                    let mut ndv_product = 1.0;
+                    let mut all_known = true;
+                    for g in group {
+                        let ndv = match g {
+                            BoundExpr::Column(i) if *i < n_left => self.column_ndv(left, *i, ctx),
+                            BoundExpr::Column(i) => self.column_ndv(right, *i - n_left, ctx),
+                            _ => None,
+                        };
+                        match ndv {
+                            Some(n) => ndv_product *= n,
+                            None => {
+                                all_known = false;
+                                break;
+                            }
+                        }
+                    }
+                    if all_known {
+                        ndv_product.min(join_rows).max(1.0)
+                    } else {
+                        (join_rows * 0.1).max(1.0)
+                    }
+                };
+                let udf_keys: f64 = keys
+                    .iter()
+                    .map(|(lk, rk)| {
+                        l.rows * udf_cost_of_expr(lk, ctx) + r.rows * udf_cost_of_expr(rk, ctx)
+                    })
+                    .sum();
+                let udf_aggs: f64 = aggs
+                    .iter()
+                    .filter_map(|a| a.arg.as_ref())
+                    .map(|e| udf_cost_of_expr(e, ctx))
+                    .sum();
+                // Serial build on the smaller side; the probe folds each
+                // matched pair once and never materializes the join output,
+                // so the unfused plan's extra aggregation pass over
+                // `join_rows` disappears.
+                let build = l.rows.min(r.rows);
+                let own = l.rows + r.rows + join_rows * (1.0 + udf_aggs) + udf_keys;
+                PlanCost {
+                    rows,
+                    cost: l.cost + r.cost + build + (own - build) * parallel_discount(ctx),
+                }
+            }
             LogicalPlan::Sort { input, .. } => {
                 let child = self.estimate(input, ctx);
                 let n = child.rows.max(2.0);
@@ -393,6 +449,17 @@ impl DefaultCostModel {
             }
             LogicalPlan::Aggregate { input, group, .. } => match group.get(idx)? {
                 BoundExpr::Column(j) => self.column_ndv(input, *j, ctx),
+                _ => None,
+            },
+            LogicalPlan::JoinAggregate { left, right, group, .. } => match group.get(idx)? {
+                BoundExpr::Column(j) => {
+                    let n_left = left.schema().len();
+                    if *j < n_left {
+                        self.column_ndv(left, *j, ctx)
+                    } else {
+                        self.column_ndv(right, *j - n_left, ctx)
+                    }
+                }
                 _ => None,
             },
             LogicalPlan::Values { .. } => None,

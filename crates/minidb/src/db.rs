@@ -516,7 +516,14 @@ impl Database {
         let ctx = self.cost_ctx();
         let plan = optimizer.optimize(plan, &ctx)?;
         let plan = crate::optimizer::fold_plan_constants(plan, &self.udfs);
-        Ok(crate::optimizer::prune_columns(plan))
+        let plan = crate::optimizer::prune_columns(plan);
+        // Fusion runs last, over the pruned plan: the rewrite sees the
+        // joins' final output masks and unmasks group/aggregate expressions
+        // through them.
+        if self.optimizer_config().fuse_join_aggregates {
+            return Ok(crate::optimizer::fuse_join_aggregates(plan));
+        }
+        Ok(plan)
     }
 
     /// Executes an already-optimized plan.

@@ -5,16 +5,17 @@
 //! session [`Profiler`] — the data behind the paper's Fig. 10 clause
 //! breakdown.
 
+pub mod fused;
 pub mod parallel;
 pub mod symmetric;
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use crate::catalog::Catalog;
 use crate::column::{Column, Key};
 use crate::error::{Error, Result};
 use crate::expr::{BoundExpr, EvalContext};
+use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::plan::logical::{AggExpr, AggFunc, JoinAlgorithm, LogicalPlan};
 use crate::profile::{OperatorKind, Profiler};
 use crate::table::{Schema, Table};
@@ -178,6 +179,22 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
             ctx.profiler.record(OperatorKind::Join, start.elapsed(), out.num_rows());
             Ok(out)
         }
+        LogicalPlan::JoinAggregate { left, right, keys, group, aggs, schema } => {
+            let lt = execute(left, ctx)?;
+            let rt = execute(right, ctx)?;
+            let start = Instant::now();
+            let (out, m) = fused::join_aggregate(&lt, &rt, keys, group, aggs, schema, ctx)?;
+            let elapsed = start.elapsed();
+            ctx.profiler.record_fused(
+                OperatorKind::JoinAggregate,
+                elapsed,
+                elapsed + m.extra_busy,
+                m.rows_in,
+                out.num_rows(),
+                m.bytes_not_materialized,
+            );
+            Ok(out)
+        }
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
             let t = execute(input, ctx)?;
             let start = Instant::now();
@@ -321,7 +338,7 @@ pub(crate) fn composite_keys(
     let n = table.num_rows();
     let mut out = Vec::with_capacity(n);
     for row in 0..n {
-        out.push(cols.iter().map(|c| c.value(row).to_key()).collect());
+        out.push(cols.iter().map(|c| c.key_at(row)).collect());
     }
     Ok(out)
 }
@@ -401,7 +418,7 @@ fn hash_join(
     let (build_rows, probe_rows) = match (&lk, &rk) {
         (JoinKeys::Packed(l), JoinKeys::Packed(r)) => {
             let (build, probe) = if build_left { (l, r) } else { (r, l) };
-            let mut table: HashMap<i128, Vec<usize>> = HashMap::with_capacity(build.len());
+            let mut table: FxHashMap<i128, Vec<usize>> = fx_map_with_capacity(build.len());
             for (row, &k) in build.iter().enumerate() {
                 table.entry(k).or_default().push(row);
             }
@@ -432,7 +449,7 @@ fn hash_join(
             let lg = composite_keys(lt, &l_keys, ctx)?;
             let rg = composite_keys(rt, &r_keys, ctx)?;
             let (build, probe) = if build_left { (&lg, &rg) } else { (&rg, &lg) };
-            let mut table: HashMap<&[Key], Vec<usize>> = HashMap::with_capacity(build.len());
+            let mut table: FxHashMap<&[Key], Vec<usize>> = fx_map_with_capacity(build.len());
             for (row, k) in build.iter().enumerate() {
                 table.entry(k.as_slice()).or_default().push(row);
             }
@@ -632,6 +649,53 @@ fn zero_of(dt: DataType) -> Value {
     }
 }
 
+/// Assigns a group id to every row from the evaluated key columns,
+/// returning each group's first row (in first-occurrence order) and the
+/// per-row group ids. Up to two `Int64` key columns take an
+/// allocation-free packed path (the DL2SQL group-by shape); the general
+/// path gathers composite keys columnar-wise via [`Column::key_at`].
+pub(crate) fn group_rows(key_cols: &[Column], n: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut group_first_row: Vec<usize> = Vec::new();
+    let mut row_group: Vec<usize> = Vec::with_capacity(n);
+    let cap = (n / 4 + 16).min(1 << 16);
+
+    let ints: Option<Vec<&[i64]>> = if key_cols.is_empty() || key_cols.len() > 2 {
+        None
+    } else {
+        key_cols.iter().map(Column::as_i64_slice).collect()
+    };
+    if let Some(ints) = ints {
+        let mut ids: FxHashMap<i128, usize> = fx_map_with_capacity(cap);
+        for row in 0..n {
+            let key = match ints.as_slice() {
+                [c] => c[row] as i128,
+                [a, b] => ((a[row] as i128) << 64) | (b[row] as u64 as i128),
+                _ => unreachable!(),
+            };
+            let next = group_first_row.len();
+            let id = *ids.entry(key).or_insert_with(|| {
+                group_first_row.push(row);
+                next
+            });
+            row_group.push(id);
+        }
+        return (group_first_row, row_group);
+    }
+
+    let key_vecs: Vec<Vec<Key>> = key_cols.iter().map(Column::keys).collect();
+    let mut ids: FxHashMap<Vec<Key>, usize> = fx_map_with_capacity(cap);
+    for row in 0..n {
+        let key: Vec<Key> = key_vecs.iter().map(|kv| kv[row].clone()).collect();
+        let next = group_first_row.len();
+        let id = *ids.entry(key).or_insert_with(|| {
+            group_first_row.push(row);
+            next
+        });
+        row_group.push(id);
+    }
+    (group_first_row, row_group)
+}
+
 fn aggregate(
     t: &Table,
     group: &[BoundExpr],
@@ -648,20 +712,7 @@ fn aggregate(
         .collect::<Result<_>>()?;
 
     // Group id per row.
-    #[allow(clippy::needless_range_loop)] // row drives parallel key/arg columns
-    let mut ids: HashMap<Vec<Key>, usize> = HashMap::new();
-    let mut group_first_row: Vec<usize> = Vec::new();
-    let mut row_group: Vec<usize> = Vec::with_capacity(n);
-    #[allow(clippy::needless_range_loop)] // row drives parallel key/arg columns
-    for row in 0..n {
-        let key: Vec<Key> = key_cols.iter().map(|c| c.value(row).to_key()).collect();
-        let next = group_first_row.len();
-        let id = *ids.entry(key).or_insert_with(|| {
-            group_first_row.push(row);
-            next
-        });
-        row_group.push(id);
-    }
+    let (group_first_row, row_group) = group_rows(&key_cols, n);
     // Global aggregate: exactly one group even with zero input rows.
     let n_groups =
         if group.is_empty() { 1.max(group_first_row.len()) } else { group_first_row.len() };

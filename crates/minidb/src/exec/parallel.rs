@@ -147,7 +147,7 @@ pub(crate) fn aggregate(
     schema: &Schema,
     ctx: &ExecContext<'_>,
 ) -> Result<(Table, Duration)> {
-    use std::collections::HashMap;
+    use crate::hash::{fx_map_with_capacity, FxHashMap};
 
     let ranges = morsels(ctx.config, t.num_rows());
     let parts = taskpool::run_ranges(ctx.config.parallelism, &ranges, |range| {
@@ -161,10 +161,10 @@ pub(crate) fn aggregate(
             .map(|a| a.arg.as_ref().map(|e| e.eval(&morsel, &ctx.eval_ctx())).transpose())
             .collect::<Result<_>>()?;
 
-        let mut ids: HashMap<Vec<Key>, usize> = HashMap::new();
+        let mut ids: FxHashMap<Vec<Key>, usize> = fx_map_with_capacity(n / 4 + 16);
         let mut local = MorselAgg { keys: Vec::new(), firsts: Vec::new(), accs: Vec::new() };
         for row in 0..n {
-            let key: Vec<Key> = key_cols.iter().map(|c| c.value(row).to_key()).collect();
+            let key: Vec<Key> = key_cols.iter().map(|c| c.key_at(row)).collect();
             let next = local.keys.len();
             let id = *ids.entry(key.clone()).or_insert_with(|| {
                 local.keys.push(key);
@@ -187,7 +187,7 @@ pub(crate) fn aggregate(
 
     // Merge partials in morsel order.
     let mut busy = Duration::ZERO;
-    let mut ids: HashMap<Vec<Key>, usize> = HashMap::new();
+    let mut ids: FxHashMap<Vec<Key>, usize> = FxHashMap::default();
     let mut firsts: Vec<Vec<Value>> = Vec::new();
     let mut accs: Vec<Vec<Acc>> = Vec::new();
     for part in parts {

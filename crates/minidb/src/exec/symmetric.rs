@@ -13,11 +13,10 @@
 //! incremental build/probe structure and exposing eviction/reload counters
 //! for analysis.
 
-use std::collections::HashMap;
-
 use crate::column::Key;
 use crate::error::Result;
 use crate::expr::BoundExpr;
+use crate::hash::FxHashMap;
 use crate::table::{Schema, Table};
 
 use super::{composite_keys, glue_join, ExecContext};
@@ -35,7 +34,7 @@ pub struct SymmetricJoinMetrics {
 
 struct SymmetricSide {
     /// key -> rows inserted so far
-    table: HashMap<Vec<Key>, Vec<usize>>,
+    table: FxHashMap<Vec<Key>, Vec<usize>>,
     /// LRU order of buckets (front = oldest). A bucket here counts toward
     /// the budget; an evicted bucket's rows remain joinable (they are
     /// "on disk") but re-touching them is a reload.
@@ -45,7 +44,7 @@ struct SymmetricSide {
 
 impl SymmetricSide {
     fn new() -> Self {
-        SymmetricSide { table: HashMap::new(), lru: Vec::new(), resident: Default::default() }
+        SymmetricSide { table: FxHashMap::default(), lru: Vec::new(), resident: Default::default() }
     }
 
     fn touch(&mut self, key: &[Key], budget: usize, metrics: &mut SymmetricJoinMetrics) {

@@ -46,6 +46,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod hash;
 pub mod index;
 pub mod optimizer;
 pub mod plan;

@@ -56,6 +56,25 @@ fn fold(plan: LogicalPlan, ctx: &EvalContext<'_>) -> LogicalPlan {
                 .collect(),
             schema,
         },
+        LogicalPlan::JoinAggregate { left, right, keys, group, aggs, schema } => {
+            LogicalPlan::JoinAggregate {
+                left: Box::new(fold(*left, ctx)),
+                right: Box::new(fold(*right, ctx)),
+                keys: keys
+                    .into_iter()
+                    .map(|(l, r)| (l.fold_constants(ctx), r.fold_constants(ctx)))
+                    .collect(),
+                group: fold_vec(group, ctx),
+                aggs: aggs
+                    .into_iter()
+                    .map(|mut a| {
+                        a.arg = a.arg.map(|e| e.fold_constants(ctx));
+                        a
+                    })
+                    .collect(),
+                schema,
+            }
+        }
         LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
             input: Box::new(fold(*input, ctx)),
             keys: keys.into_iter().map(|(k, asc)| (k.fold_constants(ctx), asc)).collect(),

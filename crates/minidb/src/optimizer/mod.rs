@@ -15,11 +15,13 @@
 //!    call switches to [`JoinAlgorithm::SymmetricHash`].
 
 pub mod fold;
+pub mod fuse;
 pub mod prune;
 
 use std::sync::Arc;
 
 pub use fold::fold_plan_constants;
+pub use fuse::fuse_join_aggregates;
 pub use prune::prune_columns;
 
 use crate::cost::{CostContext, CostModel};
@@ -41,6 +43,11 @@ pub struct OptimizerConfig {
     /// Use the symmetric hash join when a join key contains a UDF call
     /// (paper Sec. IV-B rule 3).
     pub symmetric_for_udf_joins: bool,
+    /// Rewrite `Aggregate` over an equi hash `Join` into the fused
+    /// [`LogicalPlan::JoinAggregate`] operator, which folds aggregate
+    /// partials during the probe instead of materializing the join output
+    /// (the DL2SQL conv hot path). Disable to force the unfused pair.
+    pub fuse_join_aggregates: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -49,6 +56,7 @@ impl Default for OptimizerConfig {
             reorder_joins: true,
             udf_placement_hints: false,
             symmetric_for_udf_joins: false,
+            fuse_join_aggregates: true,
         }
     }
 }
@@ -106,6 +114,16 @@ impl Optimizer {
                 aggs,
                 schema,
             },
+            LogicalPlan::JoinAggregate { left, right, keys, group, aggs, schema } => {
+                LogicalPlan::JoinAggregate {
+                    left: Box::new(self.optimize(*left, ctx)?),
+                    right: Box::new(self.optimize(*right, ctx)?),
+                    keys,
+                    group,
+                    aggs,
+                    schema,
+                }
+            }
             LogicalPlan::Sort { input, keys } => {
                 LogicalPlan::Sort { input: Box::new(self.optimize(*input, ctx)?), keys }
             }

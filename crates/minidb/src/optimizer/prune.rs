@@ -272,6 +272,83 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> (LogicalPlan, Vec<usi
             let map = (0..width).collect();
             (LogicalPlan::Aggregate { input: Box::new(child), group, aggs, schema }, map)
         }
+        LogicalPlan::JoinAggregate { left, right, keys, group, aggs, schema } => {
+            // Fusion normally runs after pruning, but be correct if a fused
+            // node is pruned again: narrow both sides to the key, group and
+            // aggregate-argument columns; the output (groups + aggs) stays
+            // whole, exactly like `Aggregate`.
+            let l_width = left.schema().len();
+            let mut l_req: BTreeSet<usize> = BTreeSet::new();
+            let mut r_req: BTreeSet<usize> = BTreeSet::new();
+            let mut split = |c: usize| {
+                if c < l_width {
+                    l_req.insert(c);
+                } else {
+                    r_req.insert(c - l_width);
+                }
+            };
+            for g in &group {
+                g.referenced_columns().into_iter().for_each(&mut split);
+            }
+            for a in &aggs {
+                if let Some(arg) = &a.arg {
+                    arg.referenced_columns().into_iter().for_each(&mut split);
+                }
+            }
+            for (lk, rk) in &keys {
+                l_req.extend(lk.referenced_columns());
+                r_req.extend(rk.referenced_columns());
+            }
+            let (l_plan, l_map) = prune(*left, &l_req);
+            let (r_plan, r_map) = prune(*right, &r_req);
+            let new_l_width = l_plan.schema().len();
+            let keys = keys
+                .into_iter()
+                .map(|(mut lk, mut rk)| {
+                    lk.remap_columns(&l_map);
+                    rk.remap_columns(&r_map);
+                    (lk, rk)
+                })
+                .collect();
+            let mut map = vec![usize::MAX; l_width + r_map.len()];
+            for (old, &new) in l_map.iter().enumerate() {
+                if new != usize::MAX {
+                    map[old] = new;
+                }
+            }
+            for (old, &new) in r_map.iter().enumerate() {
+                if new != usize::MAX {
+                    map[l_width + old] = new_l_width + new;
+                }
+            }
+            let group = group
+                .into_iter()
+                .map(|mut g| {
+                    g.remap_columns(&map);
+                    g
+                })
+                .collect();
+            let aggs = aggs
+                .into_iter()
+                .map(|mut a| {
+                    if let Some(arg) = &mut a.arg {
+                        arg.remap_columns(&map);
+                    }
+                    a
+                })
+                .collect();
+            (
+                LogicalPlan::JoinAggregate {
+                    left: Box::new(l_plan),
+                    right: Box::new(r_plan),
+                    keys,
+                    group,
+                    aggs,
+                    schema,
+                },
+                (0..width).collect(),
+            )
+        }
         LogicalPlan::Sort { input, keys } => {
             let mut used = required.clone();
             for (k, _) in &keys {

@@ -97,6 +97,19 @@ pub enum LogicalPlan {
     Cross { left: Box<LogicalPlan>, right: Box<LogicalPlan>, schema: Schema },
     /// Hash aggregation. Output schema: group keys then aggregates.
     Aggregate { input: Box<LogicalPlan>, group: Vec<BoundExpr>, aggs: Vec<AggExpr>, schema: Schema },
+    /// Fused equi join + hash aggregation: aggregate partials fold directly
+    /// during the probe, so the join output is never materialized (the
+    /// DL2SQL conv hot path). `group` and the aggregate arguments are bound
+    /// over `left ++ right` columns; output schema is group keys then
+    /// aggregates, as for `Aggregate`.
+    JoinAggregate {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        keys: Vec<(BoundExpr, BoundExpr)>,
+        group: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        schema: Schema,
+    },
     /// Sort by key expressions (bound over the input schema), each with an
     /// ascending flag.
     Sort { input: Box<LogicalPlan>, keys: Vec<(BoundExpr, bool)> },
@@ -116,6 +129,7 @@ impl LogicalPlan {
             LogicalPlan::Join { schema, .. } => schema,
             LogicalPlan::Cross { schema, .. } => schema,
             LogicalPlan::Aggregate { schema, .. } => schema,
+            LogicalPlan::JoinAggregate { schema, .. } => schema,
             LogicalPlan::Sort { input, .. } => input.schema(),
             LogicalPlan::Limit { input, .. } => input.schema(),
         }
@@ -131,7 +145,9 @@ impl LogicalPlan {
             | LogicalPlan::Aggregate { input, .. }
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. } => vec![input],
-            LogicalPlan::Join { left, right, .. } | LogicalPlan::Cross { left, right, .. } => {
+            LogicalPlan::Join { left, right, .. }
+            | LogicalPlan::Cross { left, right, .. }
+            | LogicalPlan::JoinAggregate { left, right, .. } => {
                 vec![left, right]
             }
         }
@@ -165,6 +181,14 @@ impl LogicalPlan {
             LogicalPlan::Cross { .. } => "CrossJoin".to_string(),
             LogicalPlan::Aggregate { group, aggs, .. } => {
                 format!("Aggregate: {} groups, {} aggs", group.len(), aggs.len())
+            }
+            LogicalPlan::JoinAggregate { keys, group, aggs, .. } => {
+                format!(
+                    "JoinAggregate: {} keys, {} groups, {} aggs",
+                    keys.len(),
+                    group.len(),
+                    aggs.len()
+                )
             }
             LogicalPlan::Sort { keys, .. } => format!("Sort: {} keys", keys.len()),
             LogicalPlan::Limit { n, .. } => format!("Limit: {n}"),

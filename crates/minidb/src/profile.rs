@@ -17,6 +17,9 @@ pub enum OperatorKind {
     Project,
     Join,
     GroupBy,
+    /// Fused join + group-by: the probe folds aggregate partials directly,
+    /// so its time belongs to neither `Join` nor `GroupBy` alone.
+    JoinAggregate,
     Sort,
     Limit,
     Update,
@@ -34,6 +37,7 @@ impl OperatorKind {
             OperatorKind::Project => "Project",
             OperatorKind::Join => "Join",
             OperatorKind::GroupBy => "GroupBy",
+            OperatorKind::JoinAggregate => "JoinAggregate",
             OperatorKind::Sort => "Sort",
             OperatorKind::Limit => "Limit",
             OperatorKind::Update => "Update",
@@ -55,6 +59,12 @@ pub struct OperatorStats {
     /// invocations; larger when morsels ran on several workers (the
     /// busy/total ratio is the operator's effective parallelism).
     pub busy: Duration,
+    /// Input rows consumed (recorded by operators that report it; the
+    /// fused join–aggregate counts both join inputs here).
+    pub rows_in: u64,
+    /// Bytes of intermediate output the operator *avoided* materializing
+    /// (the fused join–aggregate's (pixel × weight) table).
+    pub bytes_not_materialized: u64,
 }
 
 /// Thread-safe timing accumulator.
@@ -90,6 +100,33 @@ impl Profiler {
         e.invocations += 1;
         e.rows_out += rows_out as u64;
         e.busy += busy;
+    }
+
+    /// As [`record_parallel`](Self::record_parallel), also accumulating the
+    /// rows-in and bytes-not-materialized counters (fused operators).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_fused(
+        &self,
+        kind: OperatorKind,
+        elapsed: Duration,
+        busy: Duration,
+        rows_in: usize,
+        rows_out: usize,
+        bytes_not_materialized: u64,
+    ) {
+        let mut map = self.map.lock();
+        let e = map.entry(kind).or_default();
+        e.total += elapsed;
+        e.invocations += 1;
+        e.rows_in += rows_in as u64;
+        e.rows_out += rows_out as u64;
+        e.busy += busy;
+        e.bytes_not_materialized += bytes_not_materialized;
+    }
+
+    /// Accumulated stats for one operator kind, if it ran.
+    pub fn stats(&self, kind: OperatorKind) -> Option<OperatorStats> {
+        self.map.lock().get(&kind).copied()
     }
 
     /// Accumulated output rows for one operator kind (0 when unseen).
@@ -173,6 +210,33 @@ mod tests {
     #[test]
     fn labels_cover_all_kinds() {
         assert_eq!(OperatorKind::GroupBy.label(), "GroupBy");
+        assert_eq!(OperatorKind::JoinAggregate.label(), "JoinAggregate");
         assert_eq!(OperatorKind::UdfEval.label(), "UdfEval");
+    }
+
+    #[test]
+    fn fused_records_carry_extra_counters() {
+        let p = Profiler::new();
+        p.record_fused(
+            OperatorKind::JoinAggregate,
+            Duration::from_millis(2),
+            Duration::from_millis(4),
+            1000,
+            10,
+            8192,
+        );
+        p.record_fused(
+            OperatorKind::JoinAggregate,
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+            500,
+            10,
+            4096,
+        );
+        let s = p.stats(OperatorKind::JoinAggregate).unwrap();
+        assert_eq!(s.rows_in, 1500);
+        assert_eq!(s.rows_out, 20);
+        assert_eq!(s.bytes_not_materialized, 12288);
+        assert_eq!(s.invocations, 2);
     }
 }

@@ -1,15 +1,27 @@
 #!/usr/bin/env bash
-# Cache bench smoke: runs the cold-vs-warm cache benchmark and emits
-# BENCH_cache.json (per-strategy speedups, cache hit rates, and the
-# bit-identity check at parallelism 1/2/8). The binary exits non-zero if
-# the warm mix is not at least 2x faster than cold or any cached result
-# diverges from the uncached reference.
+# Bench smoke: runs the self-checking benchmarks and emits their JSON
+# records.
 #
-# Usage: scripts/bench_json.sh [output.json]
+#   bench_cache — cold-vs-warm cache mix (per-strategy speedups, cache hit
+#     rates, bit-identity at parallelism 1/2/8). Exits non-zero if the warm
+#     mix is not at least 2x faster than cold or any cached result diverges
+#     from the uncached reference. Emits BENCH_cache.json.
+#   bench_fused — fused join-aggregate vs. forced-unfused on fig-13-style
+#     conv layers (parallelism 8, caches off). Exits non-zero if fusion is
+#     not at least 2x faster overall, any fused plan materializes join
+#     output, or results diverge. Emits BENCH_fused.json.
+#
+# Usage: scripts/bench_json.sh [cache_output.json] [fused_output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-${BENCH_JSON_OUT:-BENCH_cache.json}}"
-BENCH_JSON_OUT="$OUT" cargo run --release -q -p bench --bin bench_cache
-echo "--- $OUT ---"
-cat "$OUT"
+CACHE_OUT="${1:-${BENCH_JSON_OUT:-BENCH_cache.json}}"
+FUSED_OUT="${2:-BENCH_fused.json}"
+
+BENCH_JSON_OUT="$CACHE_OUT" cargo run --release -q -p bench --bin bench_cache
+echo "--- $CACHE_OUT ---"
+cat "$CACHE_OUT"
+
+BENCH_JSON_OUT="$FUSED_OUT" cargo run --release -q -p bench --bin bench_fused
+echo "--- $FUSED_OUT ---"
+cat "$FUSED_OUT"

@@ -1,0 +1,268 @@
+//! Integration tests for the fused join–aggregate operator.
+//!
+//! The contract: fusion changes *how* a group-by over an equi join runs —
+//! the (pixel × weight) intermediate is never materialized — never *what
+//! comes out*. Fused plans must be bit-identical to the forced-unfused
+//! pair at every parallelism level, across the SQL corpus and all four
+//! collaboration strategies; unsupported shapes must fall back to the
+//! unfused pair rather than fuse incorrectly.
+//!
+//! All fixture values are dyadic rationals (x.5 / x.25), so float
+//! aggregation is exact under any morsel decomposition and "identical"
+//! really means bit-identical, not approximately equal.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use collab::{CollabEngine, QueryType, StrategyKind};
+use minidb::optimizer::OptimizerConfig;
+use minidb::{Database, OperatorKind};
+use workload::{build_dataset, build_repo, DatasetConfig, RepoConfig};
+
+/// Exact cell-by-cell comparison — floats included.
+fn assert_tables_identical(reference: &minidb::Table, got: &minidb::Table, ctx: &str) {
+    assert_eq!(reference.num_rows(), got.num_rows(), "{ctx}: row count");
+    assert_eq!(reference.num_columns(), got.num_columns(), "{ctx}: column count");
+    for c in 0..reference.num_columns() {
+        for r in 0..reference.num_rows() {
+            assert_eq!(
+                reference.column(c).value(r),
+                got.column(c).value(r),
+                "{ctx}: col {c} row {r}"
+            );
+        }
+    }
+}
+
+/// A feature-map / kernel pair in the DL2SQL conv layout.
+fn fixture_db(parallelism: usize, fuse: bool) -> Database {
+    let db = Database::builder()
+        .exec_config(minidb::exec::ExecConfig {
+            parallelism,
+            morsel_rows: 16,
+            min_parallel_rows: 0,
+            plan_cache_capacity: 0,
+            ..Default::default()
+        })
+        .optimizer_config(OptimizerConfig { fuse_join_aggregates: fuse, ..Default::default() })
+        .build();
+    db.execute_script(
+        "CREATE TABLE fm (MatrixID Int64, OrderID Int64, Value Float64); \
+         CREATE TABLE kernel (KernelID Int64, OrderID Int64, Value Float64);",
+    )
+    .unwrap();
+    let mut fm = Vec::new();
+    for m in 0..48i64 {
+        for o in 0..9i64 {
+            fm.push(format!("({m}, {o}, {}.5)", (m * 31 + o * 7) % 19 - 9));
+        }
+    }
+    db.execute(&format!("INSERT INTO fm VALUES {}", fm.join(","))).unwrap();
+    let mut kr = Vec::new();
+    for k in 0..6i64 {
+        for o in 0..9i64 {
+            kr.push(format!("({k}, {o}, {}.25)", (k * 13 + o * 3) % 11 - 5));
+        }
+    }
+    db.execute(&format!("INSERT INTO kernel VALUES {}", kr.join(","))).unwrap();
+    db
+}
+
+/// Queries whose aggregate-over-equi-join shape fuses.
+const FUSABLE_CORPUS: &[&str] = &[
+    // The compiled conv layer shape (paper Q1).
+    "SELECT B.KernelID AS KernelID, A.MatrixID AS TupleID, SUM(A.Value * B.Value) AS Value \
+     FROM fm A INNER JOIN kernel B ON A.OrderID = B.OrderID \
+     GROUP BY B.KernelID, A.MatrixID ORDER BY KernelID, TupleID",
+    // Comma join + WHERE equality (the pooling-with-mapping shape).
+    "SELECT A.MatrixID AS m, SUM(B.Value) AS s, COUNT(*) AS n FROM fm A, kernel B \
+     WHERE A.OrderID = B.OrderID GROUP BY A.MatrixID ORDER BY m",
+    // Every decomposable aggregate at once, single group key.
+    "SELECT B.KernelID AS k, COUNT(*) AS n, SUM(A.Value) AS s, AVG(A.Value * B.Value) AS a, \
+     MIN(B.Value) AS lo, MAX(A.Value) AS hi \
+     FROM fm A INNER JOIN kernel B ON A.OrderID = B.OrderID GROUP BY B.KernelID ORDER BY k",
+    // Global aggregate over a join: no group keys at all.
+    "SELECT SUM(A.Value * B.Value) AS dot, COUNT(*) AS pairs \
+     FROM fm A INNER JOIN kernel B ON A.OrderID = B.OrderID",
+    // Two equi-key columns.
+    "SELECT B.KernelID AS k, SUM(A.Value) AS s FROM fm A, kernel B \
+     WHERE A.OrderID = B.OrderID AND A.MatrixID = B.KernelID GROUP BY B.KernelID ORDER BY k",
+];
+
+/// Shapes the rewrite must refuse: results still match, plans stay unfused.
+const FALLBACK_CORPUS: &[&str] = &[
+    // Non-equi residual on the join.
+    "SELECT B.KernelID AS k, SUM(A.Value) AS s FROM fm A, kernel B \
+     WHERE A.OrderID = B.OrderID AND A.Value > B.Value GROUP BY B.KernelID ORDER BY k",
+    // Non-decomposable aggregate (Welford needs the materialized rows).
+    "SELECT B.KernelID AS k, stddevSamp(A.Value * B.Value) AS s \
+     FROM fm A INNER JOIN kernel B ON A.OrderID = B.OrderID GROUP BY B.KernelID ORDER BY k",
+    // DISTINCT aggregates do not decompose into mergeable partials.
+    "SELECT B.KernelID AS k, COUNT(DISTINCT A.MatrixID) AS n \
+     FROM fm A INNER JOIN kernel B ON A.OrderID = B.OrderID GROUP BY B.KernelID ORDER BY k",
+    // Argument straddles both sides without being a product.
+    "SELECT B.KernelID AS k, SUM(A.Value + B.Value) AS s \
+     FROM fm A INNER JOIN kernel B ON A.OrderID = B.OrderID GROUP BY B.KernelID ORDER BY k",
+];
+
+#[test]
+fn fused_matches_unfused_bit_for_bit_over_sql_corpus() {
+    for parallelism in [1usize, 2, 8] {
+        let fused = fixture_db(parallelism, true);
+        let unfused = fixture_db(parallelism, false);
+        for sql in FUSABLE_CORPUS.iter().chain(FALLBACK_CORPUS) {
+            let reference = unfused
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("unfused p={parallelism} failed: {e}\n{sql}"));
+            let got = fused
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("fused p={parallelism} failed: {e}\n{sql}"));
+            assert_tables_identical(
+                reference.table(),
+                got.table(),
+                &format!("p={parallelism}: {sql}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn explain_names_the_fused_operator_exactly_when_it_fires() {
+    let fused = fixture_db(1, true);
+    let unfused = fixture_db(1, false);
+    for sql in FUSABLE_CORPUS {
+        let plan = fused.explain(sql).unwrap();
+        assert!(plan.contains("JoinAggregate"), "should fuse:\n{sql}\n{plan}");
+        let plan = unfused.explain(sql).unwrap();
+        assert!(!plan.contains("JoinAggregate"), "knob off must not fuse:\n{sql}\n{plan}");
+    }
+    for sql in FALLBACK_CORPUS {
+        let plan = fused.explain(sql).unwrap();
+        assert!(!plan.contains("JoinAggregate"), "must fall back:\n{sql}\n{plan}");
+    }
+    // Aggregates with no join under them never fuse.
+    let plan = fused.explain("SELECT MatrixID, SUM(Value) AS s FROM fm GROUP BY MatrixID").unwrap();
+    assert!(!plan.contains("JoinAggregate"), "no join, nothing to fuse:\n{plan}");
+}
+
+#[test]
+fn fused_profiler_counters_report_late_materialization() {
+    let db = fixture_db(1, true);
+    db.profiler().reset();
+    let sql = FUSABLE_CORPUS[0];
+    let out = db.execute(sql).unwrap();
+    let stats = db.profiler().stats(OperatorKind::JoinAggregate).expect("fused operator ran");
+    assert!(stats.invocations >= 1);
+    // Both join inputs: 48*9 feature-map rows + 6*9 kernel rows.
+    assert_eq!(stats.rows_in, 48 * 9 + 6 * 9);
+    // One group per (KernelID, MatrixID) pair.
+    assert_eq!(stats.rows_out, out.table().num_rows() as u64);
+    // 48*6 matching pairs per OrderID x 9 OrderIDs, x >= 8 bytes each.
+    assert!(
+        stats.bytes_not_materialized >= 48 * 6 * 9 * 8,
+        "pairs folded without materialization: {stats:?}"
+    );
+    // The plan has no standalone Join or GroupBy left in the hot path.
+    assert_eq!(db.profiler().rows_out(OperatorKind::Join), 0, "join output never materialized");
+    assert_eq!(db.profiler().rows_out(OperatorKind::GroupBy), 0, "group-by folded into the probe");
+}
+
+#[test]
+fn profiler_attribution_stays_exclusive_with_fusion() {
+    // Operator timers are exclusive (each starts after its children), so
+    // their sum can never exceed the query's wall time — fused plans
+    // must not double-book probe time under both Join and GroupBy.
+    let db = fixture_db(1, true);
+    db.profiler().reset();
+    let start = Instant::now();
+    for sql in FUSABLE_CORPUS {
+        db.execute(sql).unwrap();
+    }
+    let wall = start.elapsed();
+    let total = db.profiler().total();
+    assert!(total > std::time::Duration::ZERO, "operators were recorded");
+    assert!(total <= wall, "exclusive per-operator totals exceed wall time: {total:?} > {wall:?}");
+}
+
+#[test]
+fn compiled_conv_sql_triggers_the_rewrite() {
+    // The compiler's conv layer SQL (staged fm ⋈ kernel, GROUP BY
+    // (KernelID, MatrixID), SUM(A.Value * B.Value)) must be shaped so the
+    // fusion fires on the real DL2SQL hot path, not just the test corpus.
+    let db = Arc::new(
+        Database::builder()
+            .optimizer_config(OptimizerConfig::default()) // fusion on by default
+            .build(),
+    );
+    let registry = dl2sql::NeuralRegistry::shared();
+    let model = neuro::zoo::student(vec![1, 8, 8], 3, 5);
+    let compiled =
+        Arc::new(dl2sql::compile_model(&db, &registry, &model).expect("student compiles"));
+    let runner = dl2sql::Runner::new(Arc::clone(&db), Arc::clone(&registry), compiled)
+        .expect("runner builds");
+    db.profiler().reset();
+    runner.infer(&workload::dataset::keyframe(&[1, 8, 8], 5, 0)).expect("inference runs");
+    let stats = db.profiler().stats(OperatorKind::JoinAggregate);
+    assert!(
+        stats.map(|s| s.invocations).unwrap_or(0) >= 1,
+        "compiled conv SQL did not trigger the fused operator"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// All four collaboration strategies, fused vs. forced-unfused
+// ---------------------------------------------------------------------------
+
+const KEYFRAME_SHAPE: [usize; 3] = [1, 8, 8];
+
+fn collab_db(parallelism: usize, fuse: bool) -> Arc<Database> {
+    let db = Arc::new(
+        Database::builder()
+            .exec_config(minidb::exec::ExecConfig {
+                parallelism,
+                morsel_rows: 16,
+                min_parallel_rows: 0,
+                ..Default::default()
+            })
+            .optimizer_config(OptimizerConfig { fuse_join_aggregates: fuse, ..Default::default() })
+            .build(),
+    );
+    build_dataset(
+        &db,
+        &DatasetConfig {
+            video_rows: 40,
+            keyframe_shape: KEYFRAME_SHAPE.to_vec(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn all_strategies_match_forced_unfused_at_every_parallelism() {
+    let repo = build_repo(&RepoConfig {
+        keyframe_shape: KEYFRAME_SHAPE.to_vec(),
+        histogram_samples: 16,
+        ..Default::default()
+    });
+    let queries: Vec<String> = [QueryType::Type1, QueryType::Type3]
+        .into_iter()
+        .map(|t| workload::queries::template(t, 0.1, "").sql)
+        .collect();
+    for parallelism in [1usize, 2, 8] {
+        let fused = CollabEngine::new(collab_db(parallelism, true), Arc::clone(&repo));
+        let unfused = CollabEngine::new(collab_db(parallelism, false), Arc::clone(&repo));
+        for kind in StrategyKind::all() {
+            for sql in &queries {
+                let ctx = format!("{} p={parallelism}: {sql}", kind.label());
+                let reference = unfused
+                    .execute(sql, kind)
+                    .unwrap_or_else(|e| panic!("unfused {ctx} failed: {e}"));
+                let got =
+                    fused.execute(sql, kind).unwrap_or_else(|e| panic!("fused {ctx} failed: {e}"));
+                assert_tables_identical(&reference.table, &got.table, &ctx);
+            }
+        }
+    }
+}
