@@ -51,8 +51,14 @@ fn main() {
             symmetric_bucket_budget: budget,
             ..Default::default()
         };
-        let ctx =
-            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            udfs: &udfs,
+            profiler: &profiler,
+            config: &config,
+            tracer: obs::disabled(),
+            span: obs::SpanId::NONE,
+        };
         let t0 = std::time::Instant::now();
         let (out, metrics) =
             symmetric_hash_join_with_metrics(&lt, &rt, &keys, None, None, &schema, &ctx)

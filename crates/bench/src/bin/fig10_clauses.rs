@@ -1,16 +1,22 @@
 //! Paper Fig. 10: share of running time per relational clause during
 //! DL2SQL inference (Join, GroupBy, Filter, Project, ...).
 //!
+//! The buckets are folded out of the span trees every statement emits
+//! (collector sink + [`obs::SpanTree::fold_operators`]) — the same data
+//! EXPLAIN ANALYZE renders — so this figure and EXPLAIN ANALYZE can never
+//! disagree on where time went.
+//!
 //! Expected shape (paper): "the relatively expensive operations are Join
 //! and GroupBy".
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use dl2sql::{compile_model, NeuralRegistry, Runner};
-use minidb::{Database, OperatorKind};
+use minidb::Database;
 use workload::dataset::keyframe;
 
-use bench::{fmt_duration, Report};
+use bench::Report;
 
 const REPS: usize = 20;
 
@@ -21,38 +27,50 @@ fn main() {
     let compiled = Arc::new(compile_model(&db, &registry, &model).expect("student compiles"));
     let runner = Runner::new(Arc::clone(&db), Arc::clone(&registry), compiled).expect("runner");
 
-    db.profiler().reset();
+    // Aggregate operator spans from every statement's tree as it is
+    // extracted; the sink fires inside QueryResult finalization.
+    let buckets: Arc<Mutex<HashMap<String, obs::OpAgg>>> = Arc::new(Mutex::new(HashMap::new()));
+    let sink = Arc::clone(&buckets);
+    db.tracer().set_sink(Some(Arc::new(move |tree: &obs::SpanTree| {
+        tree.fold_operators(&mut sink.lock().unwrap());
+    })));
+    db.tracer().enable();
+
     for rep in 0..REPS {
         let input = keyframe(&[1, 12, 12], 5, rep as u64);
         runner.infer(&input).expect("inference runs");
     }
-    let snapshot = db.profiler().snapshot();
-    let total: f64 = snapshot.iter().map(|(_, s)| s.total.as_secs_f64()).sum();
+    db.tracer().disable();
+    db.tracer().set_sink(None);
+
+    let mut clauses: Vec<(String, obs::OpAgg)> =
+        buckets.lock().unwrap().iter().map(|(k, v)| (k.clone(), *v)).collect();
+    clauses.sort_by(|a, b| a.0.cmp(&b.0));
+    let total: f64 = clauses.iter().map(|(_, s)| s.self_ns as f64 / 1e9).sum();
 
     let mut report = Report::new(
         "Fig 10: time per relational clause during DL2SQL inference",
         &["Clause", "Time(ms)", "Share(%)", "Invocations", "RowsOut"],
     );
     let mut join_groupby = 0.0;
-    for (kind, stats) in &snapshot {
-        let t = stats.total.as_secs_f64();
+    for (name, agg) in &clauses {
+        let t = agg.self_ns as f64 / 1e9;
         report.row(&[
-            kind.label().to_string(),
-            fmt_duration(stats.total),
+            name.clone(),
+            obs::fmt_ns(agg.self_ns),
             format!("{:.1}", 100.0 * t / total),
-            stats.invocations.to_string(),
-            stats.rows_out.to_string(),
+            agg.loops.to_string(),
+            agg.rows_out.to_string(),
         ]);
         report.json(serde_json::json!({
             "experiment": "fig10",
-            "clause": kind.label(),
+            "clause": name,
             "ms": t * 1e3,
             "share": t / total,
         }));
         // The fused operator is join + group-by work in one pass, so it
         // belongs in the paper's "Join and GroupBy dominate" bucket.
-        if matches!(kind, OperatorKind::Join | OperatorKind::GroupBy | OperatorKind::JoinAggregate)
-        {
+        if matches!(name.as_str(), "Join" | "GroupBy" | "JoinAggregate") {
             join_groupby += t;
         }
     }

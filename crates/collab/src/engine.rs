@@ -1,17 +1,20 @@
 //! The engine: one database + one model repository, three strategies.
 
+use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use dl2sql::{ArtifactCache, NeuralRegistry};
 use minidb::sql::ast::{Query, Statement};
 use minidb::sql::parser::parse_statement;
 use minidb::Database;
+use parking_lot::RwLock;
 
 use crate::cache::InferenceCache;
 use crate::error::Result;
 use crate::independent::{DlServer, Independent};
 use crate::loose::LooseUdf;
-use crate::metrics::{InferenceMeter, StrategyOutcome};
+use crate::metrics::{CacheActivity, InferenceMeter, StrategyOutcome};
 use crate::nudf::{ModelRepo, NudfSpec};
 use crate::tight::Tight;
 use crate::Strategy;
@@ -70,6 +73,22 @@ pub struct CollabEngine {
     /// default ("integrated on the fly" is part of what Fig. 8 measures);
     /// see [`CollabEngine::set_artifact_cache_capacity`].
     artifact_cache: Arc<ArtifactCache>,
+    /// Cumulative per-strategy run counters, exported by
+    /// [`CollabEngine::metrics_snapshot`].
+    totals: RwLock<HashMap<StrategyKind, StrategyTotals>>,
+}
+
+/// Cumulative counters for one strategy across engine runs.
+#[derive(Debug, Clone, Copy, Default)]
+struct StrategyTotals {
+    runs: u64,
+    wall_nanos: u64,
+    loading_nanos: u64,
+    inference_nanos: u64,
+    relational_nanos: u64,
+    transfer_bytes: u64,
+    cross_system_bytes: u64,
+    inference_flops: u64,
 }
 
 impl CollabEngine {
@@ -92,6 +111,7 @@ impl CollabEngine {
             server,
             inference_cache: Arc::new(InferenceCache::new(0)),
             artifact_cache: Arc::new(ArtifactCache::new(0)),
+            totals: RwLock::new(HashMap::new()),
         }
     }
 
@@ -214,6 +234,123 @@ impl CollabEngine {
     pub fn execute(&self, sql: &str, kind: StrategyKind) -> Result<StrategyOutcome> {
         self.prepare(sql)?.run(kind)
     }
+
+    /// Current cache counters at the three levels.
+    fn cache_activity(&self) -> CacheActivity {
+        CacheActivity {
+            plan: self.db.profiler().plan_cache_stats(),
+            inference: self.inference_cache.stats(),
+            artifact: self.artifact_cache.stats(),
+        }
+    }
+
+    fn note_run(&self, kind: StrategyKind, wall_nanos: u64, outcome: &StrategyOutcome) {
+        let mut totals = self.totals.write();
+        let t = totals.entry(kind).or_default();
+        t.runs += 1;
+        t.wall_nanos += wall_nanos;
+        t.loading_nanos += outcome.breakdown.loading.as_nanos() as u64;
+        t.inference_nanos += outcome.breakdown.inference.as_nanos() as u64;
+        t.relational_nanos += outcome.breakdown.relational.as_nanos() as u64;
+        t.transfer_bytes += outcome.sim.transfer_bytes;
+        t.cross_system_bytes += outcome.sim.cross_system_bytes;
+        t.inference_flops += outcome.sim.inference_flops;
+    }
+
+    /// A point-in-time metrics registry: the database's series
+    /// (operators, plan cache, latency histogram, task pool) plus
+    /// per-strategy run/transfer counters and the inference/artifact
+    /// cache levels.
+    pub fn metrics_snapshot(&self) -> obs::Registry {
+        let mut reg = self.db.metrics_snapshot();
+        let totals = self.totals.read();
+        for kind in StrategyKind::all() {
+            let Some(t) = totals.get(&kind) else { continue };
+            let labels: &[(&str, &str)] = &[("strategy", kind.label())];
+            reg.counter(
+                "collab_strategy_runs_total",
+                "Queries run under the strategy",
+                labels,
+                t.runs,
+            );
+            reg.counter(
+                "collab_strategy_wall_nanoseconds_total",
+                "Wall time of strategy executions",
+                labels,
+                t.wall_nanos,
+            );
+            reg.counter(
+                "collab_strategy_loading_nanoseconds_total",
+                "Loading-category time (paper Fig. 8)",
+                labels,
+                t.loading_nanos,
+            );
+            reg.counter(
+                "collab_strategy_inference_nanoseconds_total",
+                "Inference-category time (paper Fig. 8)",
+                labels,
+                t.inference_nanos,
+            );
+            reg.counter(
+                "collab_strategy_relational_nanoseconds_total",
+                "Relational-category time (paper Fig. 8)",
+                labels,
+                t.relational_nanos,
+            );
+            reg.counter(
+                "collab_strategy_transfer_bytes_total",
+                "Simulated host-device transfer bytes",
+                labels,
+                t.transfer_bytes,
+            );
+            reg.counter(
+                "collab_strategy_cross_system_bytes_total",
+                "Bytes crossing the database-DL-system boundary",
+                labels,
+                t.cross_system_bytes,
+            );
+            reg.counter(
+                "collab_strategy_inference_flops_total",
+                "Simulated inference floating-point work",
+                labels,
+                t.inference_flops,
+            );
+        }
+        let inf = self.inference_cache.stats();
+        reg.counter("collab_inference_cache_hits_total", "nUDF memoization hits", &[], inf.hits);
+        reg.counter(
+            "collab_inference_cache_misses_total",
+            "nUDF memoization misses",
+            &[],
+            inf.misses,
+        );
+        reg.counter(
+            "collab_inference_cache_evictions_total",
+            "nUDF memoization evictions",
+            &[],
+            inf.evictions,
+        );
+        let art = self.artifact_cache.stats();
+        reg.counter(
+            "dl2sql_artifact_cache_hits_total",
+            "Compiled-artifact reuse hits",
+            &[],
+            art.hits,
+        );
+        reg.counter(
+            "dl2sql_artifact_cache_misses_total",
+            "Compiled-artifact reuse misses",
+            &[],
+            art.misses,
+        );
+        reg.counter(
+            "dl2sql_artifact_cache_evictions_total",
+            "Compiled-artifact reuse evictions",
+            &[],
+            art.evictions,
+        );
+        reg
+    }
 }
 
 /// A collaborative query parsed once, runnable under every strategy.
@@ -228,8 +365,66 @@ impl PreparedCollabQuery<'_> {
         &self.query
     }
 
-    /// Runs the query under `kind` without re-parsing.
+    /// Runs the query under `kind` without re-parsing: the strategy
+    /// executes under a `strategy:<name>` root span (when the database's
+    /// tracer is enabled), and the outcome is annotated with per-level
+    /// cache deltas and the span tree.
     pub fn run(&self, kind: StrategyKind) -> Result<StrategyOutcome> {
-        self.engine.strategy(kind).execute_query(&self.query)
+        let engine = self.engine;
+        let tracer = engine.db.tracer();
+        let root = if tracer.is_enabled() {
+            tracer.start_root(&format!("strategy:{}", kind.label()))
+        } else {
+            obs::SpanId::NONE
+        };
+        let before = engine.cache_activity();
+        let start = Instant::now();
+        let mut out = engine.strategy(kind).execute_query(&self.query);
+        let wall = start.elapsed();
+        let cache = CacheActivity::delta(&before, &engine.cache_activity());
+        if let Ok(o) = out.as_mut() {
+            o.cache = cache;
+            engine.note_run(kind, wall.as_nanos() as u64, o);
+        }
+        if root.is_some() {
+            if let Ok(o) = out.as_ref() {
+                let b = &o.breakdown;
+                tracer.event(
+                    root,
+                    "breakdown",
+                    &format!(
+                        "loading={:?} inference={:?} relational={:?}",
+                        b.loading, b.inference, b.relational
+                    ),
+                );
+                tracer.event(
+                    root,
+                    "cache",
+                    &format!(
+                        "plan={}h/{}m inference={}h/{}m artifact={}h/{}m",
+                        cache.plan.hits,
+                        cache.plan.misses,
+                        cache.inference.hits,
+                        cache.inference.misses,
+                        cache.artifact.hits,
+                        cache.artifact.misses
+                    ),
+                );
+                tracer.event(
+                    root,
+                    "transfer",
+                    &format!(
+                        "transfer_bytes={} cross_system_bytes={}",
+                        o.sim.transfer_bytes, o.sim.cross_system_bytes
+                    ),
+                );
+            }
+            tracer.finish(root);
+            let tree = Arc::new(tracer.take_tree(root));
+            if let Ok(o) = out.as_mut() {
+                o.trace = Some(tree);
+            }
+        }
+        out
     }
 }

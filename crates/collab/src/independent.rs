@@ -670,6 +670,8 @@ impl Strategy for Independent {
         loading += t_drop.elapsed();
 
         Ok(StrategyOutcome {
+            cache: crate::metrics::CacheActivity::default(),
+            trace: None,
             table,
             breakdown: CostBreakdown { loading, inference: self.meter.total(), relational },
             sim: self.meter.summary(),

@@ -34,7 +34,7 @@ pub mod tight;
 pub use cache::{InferenceCache, InferenceKey};
 pub use engine::{CollabEngine, PreparedCollabQuery, StrategyKind};
 pub use error::{Error, Result};
-pub use metrics::{CostBreakdown, StrategyOutcome};
+pub use metrics::{CacheActivity, CostBreakdown, StrategyOutcome};
 pub use nudf::{
     blob_to_tensor, tensor_to_blob, ConditionalVariant, ModelRepo, NudfOutput, NudfSpec,
 };

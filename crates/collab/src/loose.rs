@@ -208,6 +208,8 @@ impl Strategy for LooseUdf {
         let inference = self.meter.total();
 
         Ok(StrategyOutcome {
+            cache: crate::metrics::CacheActivity::default(),
+            trace: None,
             table,
             breakdown: CostBreakdown {
                 loading,

@@ -28,6 +28,36 @@ impl CostBreakdown {
     }
 }
 
+/// Per-query cache-lookup deltas at the three cache levels, recorded by
+/// [`crate::engine::PreparedCollabQuery::run`] around each execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheActivity {
+    /// The database's plan cache.
+    pub plan: cachekit::StatsSnapshot,
+    /// nUDF result memoization.
+    pub inference: cachekit::StatsSnapshot,
+    /// Compiled-artifact reuse (tight strategies).
+    pub artifact: cachekit::StatsSnapshot,
+}
+
+impl CacheActivity {
+    /// Level-wise difference `after - before` (saturating).
+    pub fn delta(before: &CacheActivity, after: &CacheActivity) -> CacheActivity {
+        fn sub(a: cachekit::StatsSnapshot, b: cachekit::StatsSnapshot) -> cachekit::StatsSnapshot {
+            cachekit::StatsSnapshot {
+                hits: a.hits.saturating_sub(b.hits),
+                misses: a.misses.saturating_sub(b.misses),
+                evictions: a.evictions.saturating_sub(b.evictions),
+            }
+        }
+        CacheActivity {
+            plan: sub(after.plan, before.plan),
+            inference: sub(after.inference, before.inference),
+            artifact: sub(after.artifact, before.artifact),
+        }
+    }
+}
+
 /// Result of one strategy execution.
 #[derive(Debug, Clone)]
 pub struct StrategyOutcome {
@@ -38,6 +68,13 @@ pub struct StrategyOutcome {
     /// Simulated device work accumulated during the run (inference flops,
     /// host↔device transfer bytes) for cross-hardware projection.
     pub sim: SimSummary,
+    /// Cache hits/misses this query caused at each cache level (populated
+    /// by the engine's prepared-query path; zero when a strategy is driven
+    /// directly).
+    pub cache: CacheActivity,
+    /// Strategy-level span tree, present when the database's tracer was
+    /// enabled (populated by the engine's prepared-query path).
+    pub trace: Option<Arc<obs::SpanTree>>,
 }
 
 /// Simulated-work summary for device projection (see

@@ -176,6 +176,8 @@ impl Strategy for Tight {
         let inference = self.meter.total();
 
         Ok(StrategyOutcome {
+            cache: crate::metrics::CacheActivity::default(),
+            trace: None,
             table,
             breakdown: CostBreakdown {
                 loading,

@@ -37,6 +37,9 @@ pub struct InferenceOutcome {
     pub input_load_time: Duration,
     /// Total time executing the SQL program.
     pub inference_time: Duration,
+    /// Layer-boundary span tree (`infer` → load_input / per-step /
+    /// predict phases), present when the database's tracer is enabled.
+    pub trace: Option<std::sync::Arc<obs::SpanTree>>,
 }
 
 /// A prepared executor for one compiled model: statements are parsed once
@@ -73,8 +76,26 @@ impl Runner {
         &self.compiled
     }
 
-    /// Runs one inference.
+    /// Runs one inference. When the database's tracer is enabled, the run
+    /// is wrapped in an `infer` root span with one phase per layer
+    /// boundary, and the tree is attached to the outcome.
     pub fn infer(&self, input: &Tensor) -> Result<InferenceOutcome> {
+        let tracer = self.db.tracer();
+        let root = if tracer.is_enabled() { tracer.start_root("infer") } else { obs::SpanId::NONE };
+        let out = self.infer_spanned(input, root);
+        if root.is_none() {
+            return out;
+        }
+        tracer.finish(root);
+        let tree = std::sync::Arc::new(tracer.take_tree(root));
+        out.map(|mut o| {
+            o.trace = Some(tree);
+            o
+        })
+    }
+
+    fn infer_spanned(&self, input: &Tensor, root: obs::SpanId) -> Result<InferenceOutcome> {
+        let tracer = self.db.tracer();
         if input.shape() != self.compiled.input_shape.as_slice() {
             return Err(Error::Geometry(format!(
                 "input shape {:?} does not match model input {:?}",
@@ -83,17 +104,22 @@ impl Runner {
             )));
         }
 
+        let load_span = tracer.child(root, obs::SpanKind::Phase, "load_input", "");
         let load_start = Instant::now();
         storage::load_state_table(&self.db, &self.registry, &self.compiled.input_table, input)?;
         let input_load_time = load_start.elapsed();
+        tracer.finish(load_span);
 
         let infer_start = Instant::now();
         let mut step_timings = Vec::with_capacity(self.compiled.steps.len());
         for (step, stmts) in self.compiled.steps.iter().zip(&self.parsed_steps) {
+            let span =
+                tracer.child(root, obs::SpanKind::Phase, &step.label, &format!("{:?}", step.kind));
             let t0 = Instant::now();
             for stmt in stmts {
                 self.db.execute_statement(stmt)?;
             }
+            tracer.finish(span);
             step_timings.push(StepTiming {
                 label: step.label.clone(),
                 kind: step.kind,
@@ -102,7 +128,9 @@ impl Runner {
         }
 
         // Prediction through the SQL path (ORDER BY prob DESC LIMIT 1).
+        let predict_span = tracer.child(root, obs::SpanKind::Phase, "predict", "");
         let pred = self.db.execute_statement(&self.predict_stmt)?;
+        tracer.finish(predict_span);
         if pred.table().num_rows() != 1 {
             return Err(Error::Geometry("prediction query returned no rows".into()));
         }
@@ -129,6 +157,7 @@ impl Runner {
             step_timings,
             input_load_time,
             inference_time,
+            trace: None,
         })
     }
 

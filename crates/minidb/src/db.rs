@@ -28,6 +28,8 @@ pub struct QueryResult {
     elapsed: std::time::Duration,
     rows_scanned: u64,
     plan_cache_hit: bool,
+    plan_cache: cachekit::StatsSnapshot,
+    trace: Option<Arc<obs::SpanTree>>,
 }
 
 impl QueryResult {
@@ -38,6 +40,8 @@ impl QueryResult {
             elapsed: std::time::Duration::ZERO,
             rows_scanned: 0,
             plan_cache_hit: false,
+            plan_cache: cachekit::StatsSnapshot::default(),
+            trace: None,
         }
     }
 
@@ -84,6 +88,20 @@ impl QueryResult {
         self.plan_cache_hit
     }
 
+    /// Plan-cache lookups recorded while this statement ran (a delta of
+    /// the database-wide counters; with concurrent statements the window
+    /// may include their lookups too).
+    pub fn plan_cache_stats(&self) -> cachekit::StatsSnapshot {
+        self.plan_cache
+    }
+
+    /// The statement's span tree, present when it was traced: the
+    /// collector was enabled, a slow-query threshold was armed, or the
+    /// statement was `EXPLAIN ANALYZE`.
+    pub fn trace(&self) -> Option<&obs::SpanTree> {
+        self.trace.as_deref()
+    }
+
     /// A one-line human summary ("3 rows in 1.24 ms, 12 rows scanned").
     pub fn summary(&self) -> String {
         format!(
@@ -96,6 +114,10 @@ impl QueryResult {
         )
     }
 }
+
+/// Callback invoked with the span tree of a statement that exceeded
+/// [`ExecConfig::slow_query_threshold`].
+pub type SlowQueryHook = Arc<dyn Fn(&obs::SpanTree) + Send + Sync>;
 
 /// An in-memory SQL database instance.
 pub struct Database {
@@ -113,6 +135,15 @@ pub struct Database {
     /// Bumped when the optimizer/executor configuration or cost model is
     /// swapped mid-session — all of which can change which plan is best.
     config_epoch: cachekit::Epoch,
+    /// Span collector for parse/plan/execute tracing. Disabled by default;
+    /// when off the only cost per statement is a few atomic loads.
+    tracer: obs::Collector,
+    /// Fired with the span tree of any statement slower than
+    /// [`ExecConfig::slow_query_threshold`].
+    slow_query_hook: RwLock<SlowQueryHook>,
+    /// Per-statement wall-time distribution, exported by
+    /// [`Database::metrics_snapshot`].
+    query_latency: obs::Histogram,
 }
 
 impl Default for Database {
@@ -179,6 +210,10 @@ impl DatabaseBuilder {
     /// Builds the database.
     pub fn build(self) -> Database {
         let plan_cache = cachekit::LruCache::new(self.exec_config.plan_cache_capacity);
+        let default_hook: Arc<dyn Fn(&obs::SpanTree) + Send + Sync> =
+            Arc::new(|tree: &obs::SpanTree| {
+                eprintln!("[minidb] slow query:\n{}", tree.render());
+            });
         Database {
             catalog: Catalog::new(),
             udfs: UdfRegistry::new(),
@@ -189,6 +224,9 @@ impl DatabaseBuilder {
             cost_model: RwLock::new(self.cost_model),
             plan_cache,
             config_epoch: cachekit::Epoch::new(),
+            tracer: obs::Collector::new(),
+            slow_query_hook: RwLock::new(default_hook),
+            query_latency: obs::Histogram::new(&[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0]),
         }
     }
 }
@@ -322,9 +360,16 @@ impl Database {
     /// served from an epoch-validated plan cache, skipping parse + plan
     /// entirely; any catalog change invalidates affected entries wholesale.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let root = self.query_root();
+        let pc_before = self.profiler.plan_cache_stats();
+        let out = self.execute_traced(sql, root);
+        self.finalize_query(root, pc_before, out)
+    }
+
+    fn execute_traced(&self, sql: &str, root: obs::SpanId) -> Result<QueryResult> {
         if self.plan_cache.capacity() == 0 {
-            let stmt = parser::parse_statement(sql)?;
-            return self.execute_statement(&stmt);
+            let stmt = self.parse_spanned(sql, root)?;
+            return self.execute_statement_spanned(&stmt, root);
         }
         let key = normalize_sql(sql);
         // Read the epoch before planning: a concurrent mutation between
@@ -334,27 +379,94 @@ impl Database {
         if let Some((cached_epoch, plan)) = self.plan_cache.get(&key) {
             if cached_epoch == epoch {
                 self.profiler.record_plan_cache(true);
-                let mut result = self.run_plan_timed(&plan)?;
+                self.tracer.event(root, "plan_cache", "hit");
+                let mut result = self.run_plan_timed_spanned(&plan, root)?;
                 result.plan_cache_hit = true;
                 return Ok(result);
             }
             self.plan_cache.remove(&key);
         }
-        let stmt = parser::parse_statement(sql)?;
+        let stmt = self.parse_spanned(sql, root)?;
         if let Statement::Query(q) = &stmt {
             self.profiler.record_plan_cache(false);
-            let plan = Arc::new(self.plan_query(q)?);
+            self.tracer.event(root, "plan_cache", "miss");
+            let plan = Arc::new(self.plan_query_spanned(q, root)?);
             self.plan_cache.insert(key, (epoch, Arc::clone(&plan)));
-            return self.run_plan_timed(&plan);
+            return self.run_plan_timed_spanned(&plan, root);
         }
-        self.execute_statement(&stmt)
+        self.execute_statement_spanned(&stmt, root)
     }
 
-    /// Executes an optimized plan, stamping timing + rows-scanned metadata.
-    fn run_plan_timed(&self, plan: &LogicalPlan) -> Result<QueryResult> {
+    /// Root span for one statement: created when the collector is enabled
+    /// or an armed slow-query threshold forces capture; `NONE` otherwise,
+    /// which collapses the whole tracing path to `is_none` checks.
+    fn query_root(&self) -> obs::SpanId {
+        let forced = self.exec_config.read().slow_query_threshold.is_some();
+        if self.tracer.is_enabled() || forced {
+            self.tracer.start_root("query")
+        } else {
+            obs::SpanId::NONE
+        }
+    }
+
+    /// Closes a statement's root span: extracts the tree, fires the
+    /// slow-query hook when the statement crossed the threshold, attaches
+    /// the trace and per-statement plan-cache delta to the result, and
+    /// feeds the latency histogram.
+    fn finalize_query(
+        &self,
+        root: obs::SpanId,
+        pc_before: cachekit::StatsSnapshot,
+        out: Result<QueryResult>,
+    ) -> Result<QueryResult> {
+        let tree = if root.is_some() {
+            self.tracer.finish(root);
+            Some(self.tracer.take_tree(root))
+        } else {
+            None
+        };
+        let mut result = out?;
+        let pc_after = self.profiler.plan_cache_stats();
+        result.plan_cache = cachekit::StatsSnapshot {
+            hits: pc_after.hits.saturating_sub(pc_before.hits),
+            misses: pc_after.misses.saturating_sub(pc_before.misses),
+            evictions: pc_after.evictions.saturating_sub(pc_before.evictions),
+        };
+        self.query_latency.observe(result.elapsed.as_secs_f64());
+        if let Some(tree) = tree {
+            let tree = Arc::new(tree);
+            if let Some(threshold) = self.exec_config.read().slow_query_threshold {
+                if result.elapsed >= threshold {
+                    let hook = self.slow_query_hook.read().clone();
+                    hook(&tree);
+                }
+            }
+            result.trace = Some(tree);
+        }
+        Ok(result)
+    }
+
+    /// Parses under a `parse` phase span.
+    fn parse_spanned(&self, sql: &str, parent: obs::SpanId) -> Result<Statement> {
+        let span = self.tracer.child(parent, obs::SpanKind::Phase, "parse", "");
+        let stmt = parser::parse_statement(sql);
+        self.tracer.finish(span);
+        stmt
+    }
+
+    /// Executes an optimized plan under an `execute` phase span, stamping
+    /// timing + rows-scanned metadata.
+    fn run_plan_timed_spanned(
+        &self,
+        plan: &LogicalPlan,
+        parent: obs::SpanId,
+    ) -> Result<QueryResult> {
         let scanned_before = self.profiler.rows_out(OperatorKind::Scan);
         let start = std::time::Instant::now();
-        let table = self.execute_plan(plan)?;
+        let span = self.tracer.child(parent, obs::SpanKind::Phase, "execute", "");
+        let table = self.execute_plan_spanned(plan, span);
+        self.tracer.finish(span);
+        let table = table?;
         let rows = table.num_rows();
         let mut result = QueryResult::of(table, rows);
         result.elapsed = start.elapsed();
@@ -376,19 +488,30 @@ impl Database {
     /// Executes a parsed statement, stamping the result with its wall time
     /// and the number of base-table rows its Scan operators read.
     pub fn execute_statement(&self, stmt: &Statement) -> Result<QueryResult> {
+        let root = self.query_root();
+        let pc_before = self.profiler.plan_cache_stats();
+        let out = self.execute_statement_spanned(stmt, root);
+        self.finalize_query(root, pc_before, out)
+    }
+
+    fn execute_statement_spanned(
+        &self,
+        stmt: &Statement,
+        span: obs::SpanId,
+    ) -> Result<QueryResult> {
         let scanned_before = self.profiler.rows_out(OperatorKind::Scan);
         let start = std::time::Instant::now();
-        let mut result = self.execute_statement_inner(stmt)?;
+        let mut result = self.execute_statement_inner(stmt, span)?;
         result.elapsed = start.elapsed();
         result.rows_scanned =
             self.profiler.rows_out(OperatorKind::Scan).saturating_sub(scanned_before);
         Ok(result)
     }
 
-    fn execute_statement_inner(&self, stmt: &Statement) -> Result<QueryResult> {
+    fn execute_statement_inner(&self, stmt: &Statement, span: obs::SpanId) -> Result<QueryResult> {
         match stmt {
             Statement::Query(q) => {
-                let table = self.run_query(q)?;
+                let table = self.run_query_spanned(q, span)?;
                 let rows = table.num_rows();
                 Ok(QueryResult::of(table, rows))
             }
@@ -399,7 +522,7 @@ impl Database {
                 // The inner query's operators record themselves; the
                 // CreateTable entry covers only the materialization.
                 let table = match as_query {
-                    Some(q) => self.run_query(q)?,
+                    Some(q) => self.run_query_spanned(q, span)?,
                     None => {
                         let schema = Schema::new(
                             columns.iter().map(|(n, t)| Field::new(n.clone(), *t)).collect(),
@@ -428,7 +551,7 @@ impl Database {
                     .catalog
                     .table(table)
                     .ok_or_else(|| Error::NotFound(format!("table '{table}'")))?;
-                let incoming = self.run_query(query)?;
+                let incoming = self.run_query_spanned(query, span)?;
                 if incoming.num_columns() != current.num_columns() {
                     return Err(Error::Plan(format!(
                         "INSERT SELECT produces {} columns, table '{table}' has {}",
@@ -465,6 +588,7 @@ impl Database {
                 let rows = table.num_rows();
                 Ok(QueryResult::of(table, rows))
             }
+            Statement::ExplainAnalyze(inner) => self.explain_analyze(inner),
             Statement::Drop { kind, name, if_exists } => {
                 let dropped = match kind {
                     ObjectKind::Table => self.catalog.drop_table(name, *if_exists)?,
@@ -494,8 +618,17 @@ impl Database {
 
     /// Plans, optimizes and executes a SELECT.
     pub fn run_query(&self, q: &Query) -> Result<Table> {
-        let plan = self.plan_query(q)?;
-        self.execute_plan(&plan)
+        self.run_query_spanned(q, obs::SpanId::NONE)
+    }
+
+    /// [`run_query`](Self::run_query) with plan/execute phase spans
+    /// nesting under `parent`.
+    fn run_query_spanned(&self, q: &Query, parent: obs::SpanId) -> Result<Table> {
+        let plan = self.plan_query_spanned(q, parent)?;
+        let span = self.tracer.child(parent, obs::SpanKind::Phase, "execute", "");
+        let out = self.execute_plan_spanned(&plan, span);
+        self.tracer.finish(span);
+        out
     }
 
     fn cost_ctx(&self) -> CostContext<'_> {
@@ -509,31 +642,65 @@ impl Database {
 
     /// Plans and optimizes a SELECT without executing it.
     pub fn plan_query(&self, q: &Query) -> Result<LogicalPlan> {
+        self.plan_query_spanned(q, obs::SpanId::NONE)
+    }
+
+    /// [`plan_query`](Self::plan_query) under a `plan` phase span with one
+    /// child per optimizer pass.
+    fn plan_query_spanned(&self, q: &Query, parent: obs::SpanId) -> Result<LogicalPlan> {
+        let span = self.tracer.child(parent, obs::SpanKind::Phase, "plan", "");
+        let out = self.plan_query_passes(q, span);
+        self.tracer.finish(span);
+        out
+    }
+
+    fn plan_query_passes(&self, q: &Query, span: obs::SpanId) -> Result<LogicalPlan> {
         let runner = |sub: &Query| self.run_query(sub);
         let planner = Planner::new(&self.catalog, &self.udfs, Some(&runner));
-        let plan = planner.plan_query(q)?;
+        let s = self.tracer.child(span, obs::SpanKind::Phase, "build_logical", "");
+        let plan = planner.plan_query(q);
+        self.tracer.finish(s);
+        let plan = plan?;
         let optimizer = Optimizer::new(self.optimizer_config(), self.cost_model());
         let ctx = self.cost_ctx();
-        let plan = optimizer.optimize(plan, &ctx)?;
+        let s = self.tracer.child(span, obs::SpanKind::Phase, "optimize", "");
+        let plan = optimizer.optimize(plan, &ctx);
+        self.tracer.finish(s);
+        let plan = plan?;
+        let s = self.tracer.child(span, obs::SpanKind::Phase, "fold_constants", "");
         let plan = crate::optimizer::fold_plan_constants(plan, &self.udfs);
+        self.tracer.finish(s);
+        let s = self.tracer.child(span, obs::SpanKind::Phase, "prune_columns", "");
         let plan = crate::optimizer::prune_columns(plan);
+        self.tracer.finish(s);
         // Fusion runs last, over the pruned plan: the rewrite sees the
         // joins' final output masks and unmasks group/aggregate expressions
         // through them.
         if self.optimizer_config().fuse_join_aggregates {
-            return Ok(crate::optimizer::fuse_join_aggregates(plan));
+            let s = self.tracer.child(span, obs::SpanKind::Phase, "fuse_join_aggregates", "");
+            let plan = crate::optimizer::fuse_join_aggregates(plan);
+            self.tracer.finish(s);
+            return Ok(plan);
         }
         Ok(plan)
     }
 
     /// Executes an already-optimized plan.
     pub fn execute_plan(&self, plan: &LogicalPlan) -> Result<Table> {
+        self.execute_plan_spanned(plan, obs::SpanId::NONE)
+    }
+
+    /// [`execute_plan`](Self::execute_plan) with operator spans nesting
+    /// under `span` (pass [`obs::SpanId::NONE`] to disable tracing).
+    fn execute_plan_spanned(&self, plan: &LogicalPlan, span: obs::SpanId) -> Result<Table> {
         let exec_config = self.exec_config.read().clone();
         let ctx = ExecContext {
             catalog: &self.catalog,
             udfs: &self.udfs,
             profiler: &self.profiler,
             config: &exec_config,
+            tracer: &self.tracer,
+            span,
         };
         exec::execute(plan, &ctx)
     }
@@ -575,6 +742,120 @@ impl Database {
         let mut out = String::new();
         walk(plan, 0, model.as_ref(), &ctx, &mut out);
         out
+    }
+
+    /// Executes a statement under a forced trace and renders the span tree
+    /// — phases, operators with actual rows/loops/exclusive time/effective
+    /// parallelism/bytes-not-materialized, cache events, morsel workers —
+    /// as a one-column `plan` table (the `EXPLAIN ANALYZE` statement).
+    fn explain_analyze(&self, stmt: &Statement) -> Result<QueryResult> {
+        // Forced root: EXPLAIN ANALYZE traces even with the collector off.
+        let root = self.tracer.start_root("query");
+        let out = self.execute_statement_spanned(stmt, root);
+        self.tracer.finish(root);
+        let tree = self.tracer.take_tree(root);
+        let inner = out?;
+        let mut col = Column::empty(crate::value::DataType::Utf8);
+        for line in tree.render().lines() {
+            col.push(crate::value::Value::Utf8(line.to_string()))?;
+        }
+        col.push(crate::value::Value::Utf8(format!(
+            "Execution: {} rows, time={}",
+            inner.rows_affected,
+            obs::fmt_ns(inner.elapsed.as_nanos() as u64)
+        )))?;
+        let table = Table::new(
+            Schema::new(vec![Field::new("plan", crate::value::DataType::Utf8)]),
+            vec![col],
+        )?;
+        let rows = table.num_rows();
+        let mut result = QueryResult::of(table, rows);
+        result.trace = Some(Arc::new(tree));
+        Ok(result)
+    }
+
+    /// The span collector. Enable it (`db.tracer().enable()`) to trace
+    /// every statement and read trees back via [`QueryResult::trace`].
+    pub fn tracer(&self) -> &obs::Collector {
+        &self.tracer
+    }
+
+    /// Replaces the slow-query hook (default: render the span tree to
+    /// stderr). Fires for statements slower than
+    /// [`ExecConfig::slow_query_threshold`].
+    pub fn set_slow_query_hook(&self, hook: SlowQueryHook) {
+        *self.slow_query_hook.write() = hook;
+    }
+
+    /// A point-in-time metrics registry: per-operator profiler counters,
+    /// plan-cache stats, the query-latency histogram and task-pool
+    /// scheduler counters — exportable as Prometheus text or JSON.
+    pub fn metrics_snapshot(&self) -> obs::Registry {
+        let mut reg = obs::Registry::new();
+        let mut ops = self.profiler.snapshot();
+        ops.sort_by_key(|(kind, _)| kind.label());
+        for (kind, s) in ops {
+            let labels: &[(&str, &str)] = &[("op", kind.label())];
+            reg.counter(
+                "minidb_operator_invocations_total",
+                "Operator invocations",
+                labels,
+                s.invocations,
+            );
+            reg.counter(
+                "minidb_operator_time_nanoseconds_total",
+                "Operator wall time, children excluded",
+                labels,
+                s.total.as_nanos() as u64,
+            );
+            reg.counter(
+                "minidb_operator_busy_nanoseconds_total",
+                "Summed per-worker busy time",
+                labels,
+                s.busy.as_nanos() as u64,
+            );
+            reg.counter("minidb_operator_rows_out_total", "Rows produced", labels, s.rows_out);
+            if s.bytes_not_materialized > 0 {
+                reg.counter(
+                    "minidb_operator_bytes_not_materialized_total",
+                    "Intermediate bytes fusion avoided materializing",
+                    labels,
+                    s.bytes_not_materialized,
+                );
+            }
+        }
+        let pc = self.profiler.plan_cache_stats();
+        reg.counter("minidb_plan_cache_hits_total", "Plan cache hits", &[], pc.hits);
+        reg.counter("minidb_plan_cache_misses_total", "Plan cache misses", &[], pc.misses);
+        reg.counter("minidb_plan_cache_evictions_total", "Plan cache evictions", &[], pc.evictions);
+        reg.gauge(
+            "minidb_plan_cache_entries",
+            "Live plan cache entries",
+            &[],
+            self.plan_cache.len() as f64,
+        );
+        reg.histogram(
+            "minidb_query_latency_seconds",
+            "Per-statement wall time",
+            &[],
+            self.query_latency.snapshot(),
+        );
+        let pool = taskpool::stats();
+        reg.counter("taskpool_regions_total", "Parallel regions entered", &[], pool.regions);
+        reg.counter("taskpool_tasks_total", "Tasks executed", &[], pool.tasks);
+        reg.counter(
+            "taskpool_busy_nanoseconds_total",
+            "Wall time inside task closures",
+            &[],
+            pool.busy_nanos,
+        );
+        reg.gauge(
+            "taskpool_peak_workers",
+            "Largest worker count any region ran with",
+            &[],
+            pool.peak_workers as f64,
+        );
+        reg
     }
 
     /// Cost estimate of a SELECT under the installed cost model.
@@ -698,7 +979,10 @@ impl PreparedQuery<'_> {
     /// Executes the prepared plan, stamping timing metadata like
     /// [`Database::execute_statement`] (without the parse/plan cost).
     pub fn run(&self) -> Result<QueryResult> {
-        self.db.run_plan_timed(&self.plan)
+        let root = self.db.query_root();
+        let pc_before = self.db.profiler.plan_cache_stats();
+        let out = self.db.run_plan_timed_spanned(&self.plan, root);
+        self.db.finalize_query(root, pc_before, out)
     }
 }
 

@@ -43,6 +43,11 @@ pub(crate) struct FusedMetrics {
     /// Worker busy time beyond the operator's own wall time (zero when
     /// the probe ran serially).
     pub extra_busy: Duration,
+    /// Serial setup time — argument/key evaluation plus hash-table build —
+    /// before the (possibly parallel) probe starts. The profiler records
+    /// this as its own invocation so effective parallelism reflects only
+    /// the probe.
+    pub build: Duration,
     /// Rows consumed across both join inputs.
     pub rows_in: usize,
     /// Estimated bytes of join output the fusion avoided building
@@ -153,6 +158,7 @@ pub(crate) fn join_aggregate(
     schema: &Schema,
     ctx: &ExecContext<'_>,
 ) -> Result<(Table, FusedMetrics)> {
+    let setup_start = Instant::now();
     let l_width = lt.num_columns();
     let full_width = l_width + rt.num_columns();
 
@@ -178,14 +184,15 @@ pub(crate) fn join_aggregate(
     let rk = join_keys(rt, &r_exprs, ctx)?;
     let build_left = lt.num_rows() <= rt.num_rows();
 
-    let (mut folded, extra_busy) = match (&lk, &rk) {
+    let (mut folded, extra_busy, build_time) = match (&lk, &rk) {
         (JoinKeys::Packed(l), JoinKeys::Packed(r)) => {
             let (build, probe) = if build_left { (l, r) } else { (r, l) };
             let mut table: FxHashMap<i128, Vec<usize>> = fx_map_with_capacity(build.len());
             for (row, &k) in build.iter().enumerate() {
                 table.entry(k).or_default().push(row);
             }
-            fold_grouped(
+            let build_time = setup_start.elapsed();
+            let (folded, extra_busy) = fold_grouped(
                 probe.len(),
                 |row| table.get(&probe[row]),
                 build_left,
@@ -193,7 +200,8 @@ pub(crate) fn join_aggregate(
                 &args,
                 aggs,
                 ctx,
-            )?
+            )?;
+            (folded, extra_busy, build_time)
         }
         _ => {
             let lg = composite_keys(lt, &l_exprs, ctx)?;
@@ -203,7 +211,8 @@ pub(crate) fn join_aggregate(
             for (row, k) in build.iter().enumerate() {
                 table.entry(k.as_slice()).or_default().push(row);
             }
-            fold_grouped(
+            let build_time = setup_start.elapsed();
+            let (folded, extra_busy) = fold_grouped(
                 probe.len(),
                 |row| table.get(probe[row].as_slice()),
                 build_left,
@@ -211,7 +220,8 @@ pub(crate) fn join_aggregate(
                 &args,
                 aggs,
                 ctx,
-            )?
+            )?;
+            (folded, extra_busy, build_time)
         }
     };
 
@@ -240,6 +250,7 @@ pub(crate) fn join_aggregate(
 
     let metrics = FusedMetrics {
         extra_busy,
+        build: build_time,
         rows_in: lt.num_rows() + rt.num_rows(),
         bytes_not_materialized: folded.pairs * per_pair_bytes(group, aggs, lt, rt, l_width),
     };
@@ -407,9 +418,12 @@ where
     let probe_start = Instant::now();
     let ranges = taskpool::split_ranges(probe_len, ctx.config.morsel_rows);
     let parts = taskpool::run_ranges(ctx.config.parallelism, &ranges, |range| {
+        let t0 = parallel::morsel_t0(ctx);
         let start = Instant::now();
-        let local = fold_range(range, &lookup, build_left, &keyer, args, aggs)?;
-        Ok::<_, crate::error::Error>((local, start.elapsed()))
+        let local = fold_range(range.clone(), &lookup, build_left, &keyer, args, aggs)?;
+        let elapsed = start.elapsed();
+        parallel::note_morsel(ctx, &range, t0, local.keys.len() as u64);
+        Ok::<_, crate::error::Error>((local, elapsed))
     });
 
     // Merge partials in morsel order: group ids follow first occurrence

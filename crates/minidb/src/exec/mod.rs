@@ -9,7 +9,7 @@ pub mod fused;
 pub mod parallel;
 pub mod symmetric;
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::catalog::Catalog;
 use crate::column::{Column, Key};
@@ -42,6 +42,10 @@ pub struct ExecConfig {
     /// text → optimized plan, validated against the catalog epoch). `0`
     /// disables the cache.
     pub plan_cache_capacity: usize,
+    /// Queries slower than this are traced (even with the collector off)
+    /// and their full span tree is handed to the database's slow-query
+    /// hook. `None` (the default) disables the slow-query log.
+    pub slow_query_threshold: Option<Duration>,
 }
 
 impl Default for ExecConfig {
@@ -53,6 +57,7 @@ impl Default for ExecConfig {
             morsel_rows: 4096,
             min_parallel_rows: 4096,
             plan_cache_capacity: 64,
+            slow_query_threshold: None,
         }
     }
 }
@@ -63,11 +68,88 @@ pub struct ExecContext<'a> {
     pub udfs: &'a UdfRegistry,
     pub profiler: &'a Profiler,
     pub config: &'a ExecConfig,
+    /// Span collector; [`obs::disabled`] when the session is untraced.
+    pub tracer: &'a obs::Collector,
+    /// Span operator spans nest under; `NONE` disables tracing for the
+    /// whole subtree (the zero-cost-when-off path — no atomics, no lock).
+    pub span: obs::SpanId,
 }
 
 impl<'a> ExecContext<'a> {
     fn eval_ctx(&self) -> EvalContext<'a> {
         EvalContext { udfs: self.udfs }
+    }
+
+    /// The same context with operator spans nesting under `span`.
+    pub fn with_span(&self, span: obs::SpanId) -> ExecContext<'a> {
+        ExecContext {
+            catalog: self.catalog,
+            udfs: self.udfs,
+            profiler: self.profiler,
+            config: self.config,
+            tracer: self.tracer,
+            span,
+        }
+    }
+
+    /// Records a serial operator into the profiler and the current span
+    /// (one elapsed value feeds both, so the views cannot disagree).
+    fn record(&self, kind: OperatorKind, elapsed: Duration, rows_out: usize) {
+        self.profiler.record(kind, elapsed, rows_out);
+        self.note_span(kind, elapsed, elapsed, 0, rows_out, 0);
+    }
+
+    /// Records a (possibly) parallel operator: wall time plus summed
+    /// worker busy time.
+    fn record_parallel(
+        &self,
+        kind: OperatorKind,
+        elapsed: Duration,
+        busy: Duration,
+        rows_out: usize,
+    ) {
+        self.profiler.record_parallel(kind, elapsed, busy, rows_out);
+        self.note_span(kind, elapsed, busy, 0, rows_out, 0);
+    }
+
+    /// Records a fused operator invocation with its extra counters.
+    #[allow(clippy::too_many_arguments)]
+    fn record_fused(
+        &self,
+        kind: OperatorKind,
+        elapsed: Duration,
+        busy: Duration,
+        rows_in: usize,
+        rows_out: usize,
+        bytes_not_materialized: u64,
+    ) {
+        self.profiler.record_fused(kind, elapsed, busy, rows_in, rows_out, bytes_not_materialized);
+        self.note_span(kind, elapsed, busy, rows_in, rows_out, bytes_not_materialized);
+    }
+
+    fn note_span(
+        &self,
+        kind: OperatorKind,
+        elapsed: Duration,
+        busy: Duration,
+        rows_in: usize,
+        rows_out: usize,
+        bytes_not_materialized: u64,
+    ) {
+        if self.span.is_none() {
+            return;
+        }
+        self.tracer.note_op(
+            self.span,
+            kind.label(),
+            obs::OpMetrics {
+                self_ns: elapsed.as_nanos() as u64,
+                busy_ns: busy.as_nanos() as u64,
+                rows_in: rows_in as u64,
+                rows_out: rows_out as u64,
+                bytes_not_materialized,
+            },
+        );
     }
 }
 
@@ -77,8 +159,45 @@ const _: fn() = || {
     assert_sync::<ExecContext<'static>>();
 };
 
-/// Executes a plan to a materialized table.
+/// Executes a plan to a materialized table. When the context carries a
+/// live span, every plan node gets an operator span mirroring the plan
+/// tree (children nest under their parent operator).
 pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
+    if ctx.span.is_none() {
+        return execute_node(plan, ctx);
+    }
+    let span = ctx.tracer.child(
+        ctx.span,
+        obs::SpanKind::Operator,
+        variant_name(plan),
+        &plan.node_header(),
+    );
+    let inner = ctx.with_span(span);
+    let out = execute_node(plan, &inner);
+    ctx.tracer.finish(span);
+    out
+}
+
+/// The plan variant's name, used as the operator span's initial label
+/// (the recorded [`OperatorKind`] overwrites it — e.g. a `Filter` whose
+/// predicate calls a UDF reports as `UdfEval`).
+fn variant_name(plan: &LogicalPlan) -> &'static str {
+    match plan {
+        LogicalPlan::Scan { .. } => "Scan",
+        LogicalPlan::Values { .. } => "Values",
+        LogicalPlan::MultiJoin { .. } => "MultiJoin",
+        LogicalPlan::Filter { .. } => "Filter",
+        LogicalPlan::Project { .. } => "Project",
+        LogicalPlan::Join { .. } => "Join",
+        LogicalPlan::Cross { .. } => "Join",
+        LogicalPlan::JoinAggregate { .. } => "JoinAggregate",
+        LogicalPlan::Aggregate { .. } => "GroupBy",
+        LogicalPlan::Sort { .. } => "Sort",
+        LogicalPlan::Limit { .. } => "Limit",
+    }
+}
+
+fn execute_node(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
     match plan {
         LogicalPlan::Scan { table, .. } => {
             let start = Instant::now();
@@ -87,7 +206,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
                 .table(table)
                 .ok_or_else(|| Error::NotFound(format!("table '{table}'")))?;
             let out = (*t).clone();
-            ctx.profiler.record(OperatorKind::Scan, start.elapsed(), out.num_rows());
+            ctx.record(OperatorKind::Scan, start.elapsed(), out.num_rows());
             Ok(out)
         }
         LogicalPlan::Values { table } => Ok(table.clone()),
@@ -101,13 +220,13 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
                 if predicate.contains_udf() { OperatorKind::UdfEval } else { OperatorKind::Filter };
             if parallel::active(ctx.config, t.num_rows()) {
                 let (out, busy) = parallel::filter(&t, predicate, ctx)?;
-                ctx.profiler.record_parallel(kind, start.elapsed(), busy, out.num_rows());
+                ctx.record_parallel(kind, start.elapsed(), busy, out.num_rows());
                 return Ok(out);
             }
             let mask_col = predicate.eval(&t, &ctx.eval_ctx())?;
             let mask = mask_col.as_bool_slice()?;
             let out = t.filter(mask);
-            ctx.profiler.record(kind, start.elapsed(), out.num_rows());
+            ctx.record(kind, start.elapsed(), out.num_rows());
             Ok(out)
         }
         LogicalPlan::Project { input, exprs, schema } => {
@@ -115,12 +234,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
             let start = Instant::now();
             if parallel::active(ctx.config, t.num_rows()) {
                 let (out, busy) = parallel::project(&t, exprs, schema, ctx)?;
-                ctx.profiler.record_parallel(
-                    OperatorKind::Project,
-                    start.elapsed(),
-                    busy,
-                    out.num_rows(),
-                );
+                ctx.record_parallel(OperatorKind::Project, start.elapsed(), busy, out.num_rows());
                 return Ok(out);
             }
             let cols: Vec<Column> = exprs
@@ -129,7 +243,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
                 .map(|(e, f)| coerce_column(e.eval(&t, &ctx.eval_ctx())?, f.data_type))
                 .collect::<Result<_>>()?;
             let out = Table::new(schema.clone(), cols)?;
-            ctx.profiler.record(OperatorKind::Project, start.elapsed(), out.num_rows());
+            ctx.record(OperatorKind::Project, start.elapsed(), out.num_rows());
             Ok(out)
         }
         LogicalPlan::Join { left, right, keys, residual, algorithm, output, schema } => {
@@ -154,12 +268,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
                 ),
             };
             let elapsed = start.elapsed();
-            ctx.profiler.record_parallel(
-                OperatorKind::Join,
-                elapsed,
-                elapsed + extra_busy,
-                out.num_rows(),
-            );
+            ctx.record_parallel(OperatorKind::Join, elapsed, elapsed + extra_busy, out.num_rows());
             Ok(out)
         }
         LogicalPlan::Cross { left, right, schema } => {
@@ -176,23 +285,54 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
                 }
             }
             let out = glue_join(&lt, &l_idx, &rt, &r_idx, None, None, schema, ctx)?;
-            ctx.profiler.record(OperatorKind::Join, start.elapsed(), out.num_rows());
+            ctx.record(OperatorKind::Join, start.elapsed(), out.num_rows());
             Ok(out)
         }
         LogicalPlan::JoinAggregate { left, right, keys, group, aggs, schema } => {
             let lt = execute(left, ctx)?;
             let rt = execute(right, ctx)?;
+            let span_t0 = if ctx.span.is_some() { ctx.tracer.now_ns() } else { 0 };
             let start = Instant::now();
             let (out, m) = fused::join_aggregate(&lt, &rt, keys, group, aggs, schema, ctx)?;
             let elapsed = start.elapsed();
-            ctx.profiler.record_fused(
+            // Build (serial argument/key evaluation + hash build) and
+            // probe (morsel-parallel fold + emit) are distinct profiler
+            // invocations: lumping them made busy/wall meaningless as an
+            // effective-parallelism ratio, since the serial build diluted
+            // the parallel probe's busy time.
+            let probe = elapsed.saturating_sub(m.build);
+            ctx.record_parallel(OperatorKind::JoinAggregate, m.build, m.build, 0);
+            ctx.record_fused(
                 OperatorKind::JoinAggregate,
-                elapsed,
-                elapsed + m.extra_busy,
+                probe,
+                probe + m.extra_busy,
                 m.rows_in,
                 out.num_rows(),
                 m.bytes_not_materialized,
             );
+            if ctx.span.is_some() {
+                let build_end = span_t0 + m.build.as_nanos() as u64;
+                ctx.tracer.add_complete(
+                    ctx.span,
+                    obs::SpanKind::Phase,
+                    "build",
+                    "serial: eval keys/args, hash build",
+                    span_t0,
+                    build_end,
+                    u32::MAX,
+                    0,
+                );
+                ctx.tracer.add_complete(
+                    ctx.span,
+                    obs::SpanKind::Phase,
+                    "probe",
+                    "fold probe + emit",
+                    build_end,
+                    ctx.tracer.now_ns(),
+                    u32::MAX,
+                    out.num_rows() as u64,
+                );
+            }
             Ok(out)
         }
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
@@ -200,16 +340,11 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
             let start = Instant::now();
             if parallel::active(ctx.config, t.num_rows()) {
                 let (out, busy) = parallel::aggregate(&t, group, aggs, schema, ctx)?;
-                ctx.profiler.record_parallel(
-                    OperatorKind::GroupBy,
-                    start.elapsed(),
-                    busy,
-                    out.num_rows(),
-                );
+                ctx.record_parallel(OperatorKind::GroupBy, start.elapsed(), busy, out.num_rows());
                 return Ok(out);
             }
             let out = aggregate(&t, group, aggs, schema, ctx)?;
-            ctx.profiler.record(OperatorKind::GroupBy, start.elapsed(), out.num_rows());
+            ctx.record(OperatorKind::GroupBy, start.elapsed(), out.num_rows());
             Ok(out)
         }
         LogicalPlan::Sort { input, keys } => {
@@ -231,7 +366,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
                 std::cmp::Ordering::Equal
             });
             let out = t.take(&idx);
-            ctx.profiler.record(OperatorKind::Sort, start.elapsed(), out.num_rows());
+            ctx.record(OperatorKind::Sort, start.elapsed(), out.num_rows());
             Ok(out)
         }
         LogicalPlan::Limit { input, n } => {
@@ -240,7 +375,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
             let keep = (*n as usize).min(t.num_rows());
             let idx: Vec<usize> = (0..keep).collect();
             let out = t.take(&idx);
-            ctx.profiler.record(OperatorKind::Limit, start.elapsed(), out.num_rows());
+            ctx.record(OperatorKind::Limit, start.elapsed(), out.num_rows());
             Ok(out)
         }
     }
@@ -424,8 +559,7 @@ fn hash_join(
             }
             if parallel::active(ctx.config, probe.len()) {
                 let probe_start = Instant::now();
-                let (b, p, busy) =
-                    parallel::probe(probe.len(), |row| table.get(&probe[row]), ctx.config);
+                let (b, p, busy) = parallel::probe(probe.len(), |row| table.get(&probe[row]), ctx);
                 extra_busy = busy.saturating_sub(probe_start.elapsed());
                 (b, p)
             } else {
@@ -455,11 +589,8 @@ fn hash_join(
             }
             if parallel::active(ctx.config, probe.len()) {
                 let probe_start = Instant::now();
-                let (b, p, busy) = parallel::probe(
-                    probe.len(),
-                    |row| table.get(probe[row].as_slice()),
-                    ctx.config,
-                );
+                let (b, p, busy) =
+                    parallel::probe(probe.len(), |row| table.get(probe[row].as_slice()), ctx);
                 extra_busy = busy.saturating_sub(probe_start.elapsed());
                 (b, p)
             } else {
@@ -777,8 +908,14 @@ mod tests {
     fn filter_executes_mask() {
         let (catalog, udfs, profiler, config) = ctx_parts();
         catalog.create_table("t", sample_table(), false).unwrap();
-        let ctx =
-            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            udfs: &udfs,
+            profiler: &profiler,
+            config: &config,
+            tracer: obs::disabled(),
+            span: obs::SpanId::NONE,
+        };
         let plan = LogicalPlan::Filter {
             input: Box::new(LogicalPlan::Scan {
                 table: "t".into(),
@@ -801,8 +938,14 @@ mod tests {
     #[test]
     fn hash_join_matches_pairs() {
         let (catalog, udfs, profiler, config) = ctx_parts();
-        let ctx =
-            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            udfs: &udfs,
+            profiler: &profiler,
+            config: &config,
+            tracer: obs::disabled(),
+            span: obs::SpanId::NONE,
+        };
         let lt = sample_table();
         let rt = Table::new(
             Schema::new(vec![
@@ -831,8 +974,14 @@ mod tests {
     #[test]
     fn aggregate_group_by() {
         let (catalog, udfs, profiler, config) = ctx_parts();
-        let ctx =
-            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            udfs: &udfs,
+            profiler: &profiler,
+            config: &config,
+            tracer: obs::disabled(),
+            span: obs::SpanId::NONE,
+        };
         let t = sample_table();
         let schema = Schema::new(vec![
             Field::new("k", DataType::Int64),
@@ -873,8 +1022,14 @@ mod tests {
     #[test]
     fn global_aggregate_over_empty_input() {
         let (catalog, udfs, profiler, config) = ctx_parts();
-        let ctx =
-            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            udfs: &udfs,
+            profiler: &profiler,
+            config: &config,
+            tracer: obs::disabled(),
+            span: obs::SpanId::NONE,
+        };
         let t = Table::empty(sample_table().schema().clone());
         let schema = Schema::new(vec![Field::new("c", DataType::Int64)]);
         let out = aggregate(
@@ -897,8 +1052,14 @@ mod tests {
     #[test]
     fn count_of_boolean_counts_trues() {
         let (catalog, udfs, profiler, config) = ctx_parts();
-        let ctx =
-            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            udfs: &udfs,
+            profiler: &profiler,
+            config: &config,
+            tracer: obs::disabled(),
+            span: obs::SpanId::NONE,
+        };
         let t = Table::new(
             Schema::new(vec![Field::new("b", DataType::Bool)]),
             vec![Column::Bool(vec![true, false, true, true])],
@@ -945,6 +1106,8 @@ mod tests {
                 udfs: &udfs,
                 profiler: &profiler,
                 config: &config,
+                tracer: obs::disabled(),
+                span: obs::SpanId::NONE,
             };
             let scan = LogicalPlan::Scan { table: "t".into(), schema: big.schema().clone() };
             let filtered = execute(
@@ -1083,8 +1246,14 @@ mod tests {
     #[test]
     fn stddev_samp_matches_definition() {
         let (catalog, udfs, profiler, config) = ctx_parts();
-        let ctx =
-            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            udfs: &udfs,
+            profiler: &profiler,
+            config: &config,
+            tracer: obs::disabled(),
+            span: obs::SpanId::NONE,
+        };
         let t = Table::new(
             Schema::new(vec![Field::new("v", DataType::Float64)]),
             vec![Column::Float64(vec![1.0, 2.0, 3.0])],

@@ -27,6 +27,40 @@ use crate::value::Value;
 
 use super::{coerce_column, Acc, ExecConfig, ExecContext};
 
+/// Records one morsel batch as a worker span under the operator's span
+/// (no-op when untraced). `t0` is the tracer timestamp taken when the
+/// morsel started; the executing pool worker tags the span.
+pub(crate) fn note_morsel(
+    ctx: &ExecContext<'_>,
+    range: &std::ops::Range<usize>,
+    t0: u64,
+    rows_out: u64,
+) {
+    if ctx.span.is_none() {
+        return;
+    }
+    ctx.tracer.add_complete(
+        ctx.span,
+        obs::SpanKind::Worker,
+        "morsel",
+        &format!("rows {}..{}", range.start, range.end),
+        t0,
+        ctx.tracer.now_ns(),
+        taskpool::current_worker(),
+        rows_out,
+    );
+}
+
+/// Tracer timestamp for a morsel about to run, or 0 when untraced.
+#[inline]
+pub(crate) fn morsel_t0(ctx: &ExecContext<'_>) -> u64 {
+    if ctx.span.is_some() {
+        ctx.tracer.now_ns()
+    } else {
+        0
+    }
+}
+
 /// Whether the morsel-parallel path should run for an input of `rows`.
 pub(crate) fn active(config: &ExecConfig, rows: usize) -> bool {
     config.parallelism > 1 && rows > 0 && rows >= config.min_parallel_rows
@@ -60,11 +94,15 @@ pub(crate) fn filter(
 ) -> Result<(Table, Duration)> {
     let ranges = morsels(ctx.config, t.num_rows());
     let parts = taskpool::run_ranges(ctx.config.parallelism, &ranges, |range| {
+        let t0 = morsel_t0(ctx);
         let start = Instant::now();
-        let morsel = t.slice(range);
+        let morsel = t.slice(range.clone());
         let mask_col = predicate.eval(&morsel, &ctx.eval_ctx())?;
         let mask = mask_col.as_bool_slice()?;
-        Ok((morsel.filter(mask), start.elapsed()))
+        let out = morsel.filter(mask);
+        let elapsed = start.elapsed();
+        note_morsel(ctx, &range, t0, out.num_rows() as u64);
+        Ok((out, elapsed))
     });
     concat(parts, t.schema())
 }
@@ -78,14 +116,18 @@ pub(crate) fn project(
 ) -> Result<(Table, Duration)> {
     let ranges = morsels(ctx.config, t.num_rows());
     let parts = taskpool::run_ranges(ctx.config.parallelism, &ranges, |range| {
+        let t0 = morsel_t0(ctx);
         let start = Instant::now();
-        let morsel = t.slice(range);
+        let morsel = t.slice(range.clone());
         let cols: Vec<Column> = exprs
             .iter()
             .zip(schema.fields())
             .map(|(e, f)| coerce_column(e.eval(&morsel, &ctx.eval_ctx())?, f.data_type))
             .collect::<Result<_>>()?;
-        Ok((Table::new(schema.clone(), cols)?, start.elapsed()))
+        let out = Table::new(schema.clone(), cols)?;
+        let elapsed = start.elapsed();
+        note_morsel(ctx, &range, t0, out.num_rows() as u64);
+        Ok((out, elapsed))
     });
     concat(parts, schema)
 }
@@ -97,17 +139,18 @@ pub(crate) fn project(
 pub(crate) fn probe<'a, F>(
     n_probe: usize,
     lookup: F,
-    config: &ExecConfig,
+    ctx: &ExecContext<'_>,
 ) -> (Vec<usize>, Vec<usize>, Duration)
 where
     F: Fn(usize) -> Option<&'a Vec<usize>> + Sync,
 {
-    let ranges = morsels(config, n_probe);
-    let parts = taskpool::run_ranges(config.parallelism, &ranges, |range| {
+    let ranges = morsels(ctx.config, n_probe);
+    let parts = taskpool::run_ranges(ctx.config.parallelism, &ranges, |range| {
+        let t0 = morsel_t0(ctx);
         let start = Instant::now();
         let mut build_rows = Vec::new();
         let mut probe_rows = Vec::new();
-        for probe_row in range {
+        for probe_row in range.clone() {
             if let Some(matches) = lookup(probe_row) {
                 for &build_row in matches {
                     build_rows.push(build_row);
@@ -115,7 +158,9 @@ where
                 }
             }
         }
-        (build_rows, probe_rows, start.elapsed())
+        let elapsed = start.elapsed();
+        note_morsel(ctx, &range, t0, probe_rows.len() as u64);
+        (build_rows, probe_rows, elapsed)
     });
     let mut build_rows = Vec::new();
     let mut probe_rows = Vec::new();
@@ -151,8 +196,9 @@ pub(crate) fn aggregate(
 
     let ranges = morsels(ctx.config, t.num_rows());
     let parts = taskpool::run_ranges(ctx.config.parallelism, &ranges, |range| {
+        let t0 = morsel_t0(ctx);
         let start = Instant::now();
-        let morsel = t.slice(range);
+        let morsel = t.slice(range.clone());
         let n = morsel.num_rows();
         let key_cols: Vec<Column> =
             group.iter().map(|e| e.eval(&morsel, &ctx.eval_ctx())).collect::<Result<_>>()?;
@@ -182,7 +228,9 @@ pub(crate) fn aggregate(
                 local.accs[id][ai].update(v.as_ref())?;
             }
         }
-        Ok((local, start.elapsed()))
+        let elapsed = start.elapsed();
+        note_morsel(ctx, &range, t0, local.keys.len() as u64);
+        Ok((local, elapsed))
     });
 
     // Merge partials in morsel order.

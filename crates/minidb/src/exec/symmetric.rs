@@ -200,8 +200,14 @@ mod tests {
             symmetric_bucket_budget: 4,
             ..Default::default()
         };
-        let ctx =
-            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            udfs: &udfs,
+            profiler: &profiler,
+            config: &config,
+            tracer: obs::disabled(),
+            span: obs::SpanId::NONE,
+        };
 
         let lt = make(vec![1, 2, 2, 3, 5]);
         let rt = make(vec![2, 2, 3, 4]);
@@ -225,8 +231,14 @@ mod tests {
             symmetric_bucket_budget: 1,
             ..Default::default()
         };
-        let ctx =
-            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            udfs: &udfs,
+            profiler: &profiler,
+            config: &config,
+            tracer: obs::disabled(),
+            span: obs::SpanId::NONE,
+        };
 
         let lt = make((0..20).collect());
         let rt = make((0..20).rev().collect());

@@ -479,8 +479,14 @@ mod tests {
         let udfs = crate::udf::UdfRegistry::new();
         let profiler = crate::profile::Profiler::new();
         let config = ExecConfig::default();
-        let ctx =
-            ExecContext { catalog: &catalog, udfs: &udfs, profiler: &profiler, config: &config };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            udfs: &udfs,
+            profiler: &profiler,
+            config: &config,
+            tracer: obs::disabled(),
+            span: obs::SpanId::NONE,
+        };
         let before = execute(&plan, &ctx).unwrap();
         let after = execute(&prune_columns(plan), &ctx).unwrap();
         assert_eq!(before, after);

@@ -165,9 +165,10 @@ impl LogicalPlan {
         out
     }
 
-    fn fmt_indent(&self, out: &mut String, depth: usize) {
-        let pad = "  ".repeat(depth);
-        let line = match self {
+    /// One-line header for this node (no children) — shared by EXPLAIN
+    /// output and operator span annotations.
+    pub fn node_header(&self) -> String {
+        match self {
             LogicalPlan::Scan { table, .. } => format!("Scan: {table}"),
             LogicalPlan::Values { table } => format!("Values: {} rows", table.num_rows()),
             LogicalPlan::MultiJoin { predicates, .. } => {
@@ -192,9 +193,13 @@ impl LogicalPlan {
             }
             LogicalPlan::Sort { keys, .. } => format!("Sort: {} keys", keys.len()),
             LogicalPlan::Limit { n, .. } => format!("Limit: {n}"),
-        };
+        }
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
         out.push_str(&pad);
-        out.push_str(&line);
+        out.push_str(&self.node_header());
         out.push('\n');
         for c in self.children() {
             c.fmt_indent(out, depth + 1);

@@ -31,6 +31,11 @@ pub enum Statement {
     CreateIndex { table: String, column: String },
     /// `EXPLAIN <select>` — returns the optimized plan as text.
     Explain(Query),
+    /// `EXPLAIN ANALYZE <statement>` — executes the statement under a
+    /// forced trace and returns its annotated span tree as text. Any
+    /// statement kind is allowed (the DL2SQL scripts are CREATE TEMP
+    /// TABLE / UPDATE heavy).
+    ExplainAnalyze(Box<Statement>),
 }
 
 /// What a DROP statement targets.

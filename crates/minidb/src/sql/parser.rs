@@ -163,6 +163,10 @@ impl Parser {
             return self.drop();
         }
         if self.eat_kw("explain") {
+            if self.eat_kw("analyze") {
+                let inner = self.statement()?;
+                return Ok(Statement::ExplainAnalyze(Box::new(inner)));
+            }
             let q = self.query()?;
             return Ok(Statement::Explain(q));
         }

@@ -58,6 +58,9 @@ pub fn statement_to_sql(stmt: &Statement) -> String {
             format!("CREATE INDEX ON {table} ({column})")
         }
         Statement::Explain(q) => format!("EXPLAIN {}", query_to_sql(q)),
+        Statement::ExplainAnalyze(inner) => {
+            format!("EXPLAIN ANALYZE {}", statement_to_sql(inner))
+        }
     }
 }
 

@@ -1,0 +1,886 @@
+//! Point-in-time metrics registry: counters, gauges, and histograms with
+//! fixed label sets, exportable as Prometheus text exposition format and
+//! as JSON. Both exports parse back losslessly ([`Registry::from_prometheus`],
+//! [`Registry::from_json`]), which the observability tests use to assert
+//! the round-trip.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A live, lock-free histogram: fixed bucket upper bounds, atomic
+/// per-bucket counts. Unit-agnostic; callers pick the unit (the database
+/// records query latency in seconds, Prometheus-style).
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds (an
+    /// implicit `+Inf` bucket is always appended).
+    pub fn new(bounds: &[f64]) -> Self {
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all buckets.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Frozen histogram state. `counts` are per-bucket (non-cumulative);
+/// `counts.len() == bounds.len() + 1`, the final entry being `+Inf`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    pub sum: f64,
+    pub count: u64,
+}
+
+/// Value of one metric series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One metric series: a name, fixed labels, and a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    pub name: String,
+    pub help: String,
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+/// An ordered collection of metric series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    metrics: Vec<Metric>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Looks up a series by name and exact label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && m.labels.len() == labels.len()
+                && m.labels.iter().zip(labels).all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+    }
+
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.push(name, help, labels, MetricValue::Counter(value));
+    }
+
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push(name, help, labels, MetricValue::Gauge(value));
+    }
+
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snapshot: HistogramSnapshot,
+    ) {
+        self.push(name, help, labels, MetricValue::Histogram(snapshot));
+    }
+
+    fn push(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: MetricValue) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            value,
+        });
+    }
+
+    /// Merges another registry's series onto the end of this one.
+    pub fn extend(&mut self, other: Registry) {
+        self.metrics.extend(other.metrics);
+    }
+
+    /// Prometheus text exposition format. Series are grouped by metric
+    /// name (in first-seen order) with one `# HELP`/`# TYPE` header per
+    /// name, as the format requires.
+    pub fn to_prometheus(&self) -> String {
+        let mut order: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if !order.contains(&m.name.as_str()) {
+                order.push(&m.name);
+            }
+        }
+        let mut out = String::new();
+        for name in order {
+            let series: Vec<&Metric> = self.metrics.iter().filter(|m| m.name == name).collect();
+            let first = series[0];
+            let _ = writeln!(out, "# HELP {} {}", name, escape_help(&first.help));
+            let _ = writeln!(out, "# TYPE {} {}", name, first.value.type_name());
+            for m in series {
+                match &m.value {
+                    MetricValue::Counter(v) => {
+                        let _ = writeln!(out, "{}{} {}", name, fmt_labels(&m.labels, None), v);
+                    }
+                    MetricValue::Gauge(v) => {
+                        let _ = writeln!(out, "{}{} {}", name, fmt_labels(&m.labels, None), v);
+                    }
+                    MetricValue::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        for (i, count) in h.counts.iter().enumerate() {
+                            cumulative += count;
+                            let le = h
+                                .bounds
+                                .get(i)
+                                .map(|b| b.to_string())
+                                .unwrap_or_else(|| "+Inf".to_string());
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {}",
+                                name,
+                                fmt_labels(&m.labels, Some(&le)),
+                                cumulative
+                            );
+                        }
+                        let _ =
+                            writeln!(out, "{}_sum{} {}", name, fmt_labels(&m.labels, None), h.sum);
+                        let _ = writeln!(
+                            out,
+                            "{}_count{} {}",
+                            name,
+                            fmt_labels(&m.labels, None),
+                            h.count
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses Prometheus text previously produced by
+    /// [`Registry::to_prometheus`] (the subset this crate emits).
+    pub fn from_prometheus(text: &str) -> Result<Registry, String> {
+        let mut help: HashMap<String, String> = HashMap::new();
+        let mut types: HashMap<String, String> = HashMap::new();
+        let mut registry = Registry::new();
+        // Histogram components accumulate until all three parts are seen.
+        let mut hist: Vec<PendingHistogram> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, text) = rest.split_once(' ').unwrap_or((rest, ""));
+                help.insert(name.to_string(), unescape_help(text));
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, ty) =
+                    rest.split_once(' ').ok_or_else(|| format!("bad TYPE line: {line}"))?;
+                types.insert(name.to_string(), ty.to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, labels, value) = parse_series_line(line)?;
+            let (base, part) = split_histogram_name(&name, &types);
+            if let Some(part) = part {
+                let key_labels: Vec<(String, String)> =
+                    labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+                let entry =
+                    match hist.iter_mut().find(|(n, l, _, _)| *n == base && *l == key_labels) {
+                        Some(e) => e,
+                        None => {
+                            hist.push((
+                                base.clone(),
+                                key_labels.clone(),
+                                HistogramSnapshot {
+                                    bounds: Vec::new(),
+                                    counts: Vec::new(),
+                                    sum: 0.0,
+                                    count: 0,
+                                },
+                                0,
+                            ));
+                            registry.metrics.push(Metric {
+                                name: base.clone(),
+                                help: help.get(&base).cloned().unwrap_or_default(),
+                                labels: key_labels,
+                                value: MetricValue::Histogram(HistogramSnapshot {
+                                    bounds: Vec::new(),
+                                    counts: Vec::new(),
+                                    sum: 0.0,
+                                    count: 0,
+                                }),
+                            });
+                            hist.last_mut().unwrap()
+                        }
+                    };
+                match part {
+                    "bucket" => {
+                        let le = labels
+                            .iter()
+                            .find(|(k, _)| k == "le")
+                            .map(|(_, v)| v.as_str())
+                            .ok_or_else(|| format!("bucket without le: {line}"))?;
+                        let cumulative: u64 =
+                            value.parse().map_err(|_| format!("bad bucket count: {line}"))?;
+                        let bucket = cumulative - entry.3;
+                        entry.3 = cumulative;
+                        if le != "+Inf" {
+                            let bound: f64 =
+                                le.parse().map_err(|_| format!("bad le bound: {line}"))?;
+                            entry.2.bounds.push(bound);
+                        }
+                        entry.2.counts.push(bucket);
+                    }
+                    "sum" => {
+                        entry.2.sum = value.parse().map_err(|_| format!("bad sum: {line}"))?;
+                    }
+                    "count" => {
+                        entry.2.count = value.parse().map_err(|_| format!("bad count: {line}"))?;
+                    }
+                    _ => unreachable!(),
+                }
+                continue;
+            }
+            let ty = types.get(&name).map(String::as_str).unwrap_or("gauge");
+            let value = match ty {
+                "counter" => MetricValue::Counter(
+                    value.parse().map_err(|_| format!("bad counter value: {line}"))?,
+                ),
+                _ => MetricValue::Gauge(
+                    value.parse().map_err(|_| format!("bad gauge value: {line}"))?,
+                ),
+            };
+            registry.metrics.push(Metric {
+                name: name.clone(),
+                help: help.get(&name).cloned().unwrap_or_default(),
+                labels,
+                value,
+            });
+        }
+        // Fill in the assembled histograms.
+        for (name, labels, snapshot, _) in hist {
+            if let Some(m) =
+                registry.metrics.iter_mut().find(|m| m.name == name && m.labels == labels)
+            {
+                m.value = MetricValue::Histogram(snapshot);
+            }
+        }
+        Ok(registry)
+    }
+
+    /// JSON export: `{"metrics": [...]}` with one object per series.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"help\":{},\"type\":\"{}\",\"labels\":{{",
+                json_str(&m.name),
+                json_str(&m.help),
+                m.value.type_name()
+            );
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(k), json_str(v));
+            }
+            out.push_str("},\"value\":");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str("{\"bounds\":[");
+                    for (j, b) in h.bounds.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{b}");
+                    }
+                    out.push_str("],\"counts\":[");
+                    for (j, c) in h.counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{c}");
+                    }
+                    let _ = write!(out, "],\"sum\":{},\"count\":{}}}", h.sum, h.count);
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses JSON previously produced by [`Registry::to_json`].
+    pub fn from_json(text: &str) -> Result<Registry, String> {
+        let value = mini_json::parse(text)?;
+        let metrics = value
+            .get("metrics")
+            .and_then(mini_json::Value::as_array)
+            .ok_or("missing metrics array")?;
+        let mut registry = Registry::new();
+        for m in metrics {
+            let name =
+                m.get("name").and_then(mini_json::Value::as_str).ok_or("metric missing name")?;
+            let help = m.get("help").and_then(mini_json::Value::as_str).unwrap_or("");
+            let ty =
+                m.get("type").and_then(mini_json::Value::as_str).ok_or("metric missing type")?;
+            let labels: Vec<(String, String)> = match m.get("labels") {
+                Some(mini_json::Value::Object(pairs)) => pairs
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or_else(|| format!("non-string label {k}"))
+                    })
+                    .collect::<Result<_, _>>()?,
+                _ => Vec::new(),
+            };
+            let value = match ty {
+                "counter" => MetricValue::Counter(
+                    m.get("value").and_then(mini_json::Value::as_u64).ok_or("bad counter")?,
+                ),
+                "gauge" => MetricValue::Gauge(
+                    m.get("value").and_then(mini_json::Value::as_f64).ok_or("bad gauge")?,
+                ),
+                "histogram" => {
+                    let v = m.get("value").ok_or("bad histogram")?;
+                    let bounds = v
+                        .get("bounds")
+                        .and_then(mini_json::Value::as_array)
+                        .ok_or("histogram missing bounds")?
+                        .iter()
+                        .map(|b| b.as_f64().ok_or("bad bound"))
+                        .collect::<Result<Vec<f64>, _>>()?;
+                    let counts = v
+                        .get("counts")
+                        .and_then(mini_json::Value::as_array)
+                        .ok_or("histogram missing counts")?
+                        .iter()
+                        .map(|c| c.as_u64().ok_or("bad bucket count"))
+                        .collect::<Result<Vec<u64>, _>>()?;
+                    MetricValue::Histogram(HistogramSnapshot {
+                        bounds,
+                        counts,
+                        sum: v.get("sum").and_then(mini_json::Value::as_f64).ok_or("bad sum")?,
+                        count: v
+                            .get("count")
+                            .and_then(mini_json::Value::as_u64)
+                            .ok_or("bad count")?,
+                    })
+                }
+                other => return Err(format!("unknown metric type {other}")),
+            };
+            registry.metrics.push(Metric {
+                name: name.to_string(),
+                help: help.to_string(),
+                labels,
+                value,
+            });
+        }
+        Ok(registry)
+    }
+}
+
+fn fmt_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", k, escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape_help(v: &str) -> String {
+    unescape_label(v)
+}
+
+/// Label set of one parsed exposition series.
+type ParsedLabels = Vec<(String, String)>;
+
+/// A histogram being reassembled from its bucket/sum/count series:
+/// (name, labels, snapshot so far, buckets seen).
+type PendingHistogram = (String, ParsedLabels, HistogramSnapshot, u64);
+
+/// Parses one exposition series line: `name{k="v",...} value`.
+fn parse_series_line(line: &str) -> Result<(String, ParsedLabels, String), String> {
+    if let Some(brace) = line.find('{') {
+        let name = line[..brace].to_string();
+        let close = line.rfind('}').ok_or_else(|| format!("unclosed labels: {line}"))?;
+        let labels = parse_labels(&line[brace + 1..close])?;
+        let value = line[close + 1..].trim().to_string();
+        Ok((name, labels, value))
+    } else {
+        let (name, value) =
+            line.split_once(' ').ok_or_else(|| format!("bad series line: {line}"))?;
+        Ok((name.to_string(), Vec::new(), value.trim().to_string()))
+    }
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("bad label in {body}"))?;
+        let key = rest[..eq].trim().to_string();
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value in {body}"));
+        }
+        // Find the closing unescaped quote.
+        let mut end = None;
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {body}"))?;
+        labels.push((key, unescape_label(&after[1..end])));
+        rest = after[end + 1..].trim_start_matches(',').trim_start();
+    }
+    Ok(labels)
+}
+
+/// Splits `name_bucket`/`name_sum`/`name_count` when `name` is a known
+/// histogram; returns `(base, Some(part))` or `(name, None)`.
+fn split_histogram_name<'a>(
+    name: &'a str,
+    types: &HashMap<String, String>,
+) -> (String, Option<&'a str>) {
+    for part in ["bucket", "sum", "count"] {
+        if let Some(base) = name.strip_suffix(&format!("_{part}")) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return (base.to_string(), Some(part));
+            }
+        }
+    }
+    (name.to_string(), None)
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON reader for the documents this crate emits. The
+/// workspace's vendored `serde_json` shim is emit-only, so the registry
+/// carries its own parser to make the JSON export round-trippable.
+mod mini_json {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        /// Numbers keep their raw token so integer counters survive
+        /// exactly (no f64 round-trip).
+        Number(String),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(raw) => {
+                    raw.parse().ok().or_else(|| raw.parse::<f64>().ok().map(|f| f as u64))
+                }
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at {pos}"))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        let raw = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+        if raw.is_empty() || raw.parse::<f64>().is_err() {
+            return Err(format!("bad number at {start}"));
+        }
+        Ok(Value::Number(raw.to_string()))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at {pos}"));
+        }
+        *pos += 1;
+        let mut out = Vec::new();
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'"' => {
+                    *pos += 1;
+                    return String::from_utf8(out).map_err(|e| e.to_string());
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'u') => {
+                            let hex =
+                                bytes.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            let c = char::from_u32(code).ok_or("bad \\u escape")?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            *pos += 4;
+                        }
+                        Some(&other) => out.push(other),
+                        None => return Err("truncated escape".to_string()),
+                    }
+                    *pos += 1;
+                }
+                other => {
+                    out.push(other);
+                    *pos += 1;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // consume '['
+        let mut items = Vec::new();
+        loop {
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {}
+                _ => return Err(format!("expected , or ] at {pos}")),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // consume '{'
+        let mut pairs = Vec::new();
+        loop {
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b':') {
+                return Err(format!("expected : at {pos}"));
+            }
+            *pos += 1;
+            let value = parse_value(bytes, pos)?;
+            pairs.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {}
+                _ => return Err(format!("expected , or }} at {pos}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.counter("minidb_operator_seconds_total", "Exclusive time", &[("op", "Join")], 42);
+        r.counter("minidb_operator_seconds_total", "Exclusive time", &[("op", "Scan")], 7);
+        r.gauge("taskpool_default_parallelism", "Configured workers", &[], 8.0);
+        r.gauge("cache_hit_rate", "Hit rate", &[("level", "plan")], 0.75);
+        let h = Histogram::new(&[0.001, 0.01, 0.1]);
+        h.observe(0.0004);
+        h.observe(0.02);
+        h.observe(5.0);
+        r.histogram("query_seconds", "Query latency", &[], h.snapshot());
+        r
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 1]);
+        assert_eq!(s.count, 3);
+        assert!((s.sum - 55.5).abs() < 1e-9);
+        h.reset();
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn prometheus_round_trip() {
+        let r = sample();
+        let text = r.to_prometheus();
+        let parsed = Registry::from_prometheus(&text).expect("parse");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let text = r.to_json();
+        let parsed = Registry::from_json(&text).expect("parse");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn round_trip_survives_escaping() {
+        let mut r = Registry::new();
+        r.counter("odd_metric", "help with \\ and\nnewline", &[("k", "va\"l\\ue\n")], 1);
+        let prom = Registry::from_prometheus(&r.to_prometheus()).expect("prom");
+        assert_eq!(prom, r);
+        let json = Registry::from_json(&r.to_json()).expect("json");
+        assert_eq!(json, r);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE minidb_operator_seconds_total counter"));
+        assert!(text.contains("minidb_operator_seconds_total{op=\"Join\"} 42"));
+        assert!(text.contains("query_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("query_seconds_count 3"));
+    }
+
+    #[test]
+    fn get_by_name_and_labels() {
+        let r = sample();
+        let m = r.get("minidb_operator_seconds_total", &[("op", "Scan")]).unwrap();
+        assert_eq!(m.value, MetricValue::Counter(7));
+        assert!(r.get("minidb_operator_seconds_total", &[("op", "Sort")]).is_none());
+    }
+}

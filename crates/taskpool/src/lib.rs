@@ -13,11 +13,78 @@
 //! threading a configuration value through every call site; it defaults to
 //! `1`, which runs every region inline on the calling thread.
 
+use std::cell::Cell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 static DEFAULT_PARALLELISM: AtomicUsize = AtomicUsize::new(1);
+
+// Process-wide pool counters, exported through [`stats`] so the
+// observability registry can report scheduler behavior without the pool
+// depending on any other crate.
+static REGIONS: AtomicU64 = AtomicU64::new(0);
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+static PEAK_WORKERS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Index of the pool worker driving this thread inside a parallel
+    /// region: `0` for the calling thread, `1..` for spawned helpers.
+    static WORKER_ID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The pool-worker index of the current thread within the innermost
+/// parallel region (`0` outside any region or on the calling thread).
+pub fn current_worker() -> u32 {
+    WORKER_ID.with(Cell::get)
+}
+
+/// Cumulative scheduler counters since process start (or the last
+/// [`reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel regions entered (including inline ones).
+    pub regions: u64,
+    /// Tasks executed across all regions.
+    pub tasks: u64,
+    /// Summed wall time spent inside task closures, in nanoseconds.
+    pub busy_nanos: u64,
+    /// Largest worker count any region ran with.
+    pub peak_workers: u64,
+}
+
+impl PoolStats {
+    /// Busy time as a [`Duration`].
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos)
+    }
+}
+
+/// Snapshot of the process-wide pool counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        regions: REGIONS.load(Ordering::Relaxed),
+        tasks: TASKS.load(Ordering::Relaxed),
+        busy_nanos: BUSY_NANOS.load(Ordering::Relaxed),
+        peak_workers: PEAK_WORKERS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the process-wide pool counters (benches isolating a phase).
+pub fn reset_stats() {
+    REGIONS.store(0, Ordering::Relaxed);
+    TASKS.store(0, Ordering::Relaxed);
+    BUSY_NANOS.store(0, Ordering::Relaxed);
+    PEAK_WORKERS.store(0, Ordering::Relaxed);
+}
+
+fn note_region(workers: u64, tasks: u64) {
+    REGIONS.fetch_add(1, Ordering::Relaxed);
+    TASKS.fetch_add(tasks, Ordering::Relaxed);
+    PEAK_WORKERS.fetch_max(workers, Ordering::Relaxed);
+}
 
 /// The process-wide default worker count consulted by kernels that have no
 /// per-call configuration (e.g. `neuro`'s conv loops). Starts at `1`.
@@ -63,22 +130,37 @@ where
     F: Fn(usize) -> T + Sync,
 {
     if workers <= 1 || tasks <= 1 {
-        return (0..tasks).map(f).collect();
+        note_region(1, tasks as u64);
+        let start = Instant::now();
+        let out = (0..tasks).map(f).collect();
+        BUSY_NANOS.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        return out;
     }
     let threads = workers.min(tasks);
+    note_region(threads as u64, tasks as u64);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
-    let work = || loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= tasks {
-            break;
+    let work = || {
+        let mut busy = 0u64;
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            let start = Instant::now();
+            let value = f(i);
+            busy += start.elapsed().as_nanos() as u64;
+            *slots[i].lock().expect("result slot poisoned") = Some(value);
         }
-        let value = f(i);
-        *slots[i].lock().expect("result slot poisoned") = Some(value);
+        BUSY_NANOS.fetch_add(busy, Ordering::Relaxed);
     };
     std::thread::scope(|scope| {
-        for _ in 1..threads {
-            scope.spawn(work);
+        let work = &work;
+        for w in 1..threads {
+            scope.spawn(move || {
+                WORKER_ID.with(|id| id.set(w as u32));
+                work();
+            });
         }
         work();
     });
@@ -138,6 +220,19 @@ mod tests {
         set_default_parallelism(0);
         assert_eq!(default_parallelism(), 1);
         set_default_parallelism(1);
+    }
+
+    #[test]
+    fn stats_count_regions_tasks_and_workers() {
+        let before = stats();
+        let ids = run_indexed(4, 64, |_| current_worker());
+        let after = stats();
+        assert_eq!(after.regions, before.regions + 1);
+        assert_eq!(after.tasks, before.tasks + 64);
+        assert!(after.peak_workers >= 4);
+        assert!(ids.iter().all(|&w| (w as usize) < 4));
+        // The calling thread keeps worker id 0 outside regions.
+        assert_eq!(current_worker(), 0);
     }
 
     #[test]

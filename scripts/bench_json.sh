@@ -10,13 +10,18 @@
 #     conv layers (parallelism 8, caches off). Exits non-zero if fusion is
 #     not at least 2x faster overall, any fused plan materializes join
 #     output, or results diverge. Emits BENCH_fused.json.
+#   obs_overhead — tracing overhead on the fig-13 conv workload. Exits
+#     non-zero if the disabled-collector path drifts more than 3% between
+#     interleaved passes (zero-cost-when-off guard); records the
+#     enabled-collector overhead. Emits BENCH_obs.json.
 #
-# Usage: scripts/bench_json.sh [cache_output.json] [fused_output.json]
+# Usage: scripts/bench_json.sh [cache_output.json] [fused_output.json] [obs_output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CACHE_OUT="${1:-${BENCH_JSON_OUT:-BENCH_cache.json}}"
 FUSED_OUT="${2:-BENCH_fused.json}"
+OBS_OUT="${3:-BENCH_obs.json}"
 
 BENCH_JSON_OUT="$CACHE_OUT" cargo run --release -q -p bench --bin bench_cache
 echo "--- $CACHE_OUT ---"
@@ -25,3 +30,7 @@ cat "$CACHE_OUT"
 BENCH_JSON_OUT="$FUSED_OUT" cargo run --release -q -p bench --bin bench_fused
 echo "--- $FUSED_OUT ---"
 cat "$FUSED_OUT"
+
+BENCH_JSON_OUT="$OBS_OUT" cargo run --release -q -p bench --bin obs_overhead
+echo "--- $OBS_OUT ---"
+cat "$OBS_OUT"
