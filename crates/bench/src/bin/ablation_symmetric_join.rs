@@ -58,6 +58,8 @@ fn main() {
             config: &config,
             tracer: obs::disabled(),
             span: obs::SpanId::NONE,
+            governor: govern::Governor::unrestricted(),
+            budget: None,
         };
         let t0 = std::time::Instant::now();
         let (out, metrics) =

@@ -76,6 +76,17 @@ pub struct CollabEngine {
     /// Cumulative per-strategy run counters, exported by
     /// [`CollabEngine::metrics_snapshot`].
     totals: RwLock<HashMap<StrategyKind, StrategyTotals>>,
+    /// Retry/backoff policy for the independent strategy's DB↔DL
+    /// transfer.
+    retry_policy: RwLock<govern::RetryPolicy>,
+    /// Graceful-degradation order: when a strategy fails for a
+    /// recoverable reason, the engine retries the query under the next
+    /// kind in this chain. Empty (the default) disables fallback.
+    fallback_chain: RwLock<Vec<StrategyKind>>,
+    /// Queries rescued by the fallback chain.
+    fallbacks: std::sync::atomic::AtomicU64,
+    /// DB↔DL transfer retries across all runs.
+    transfer_retries: std::sync::atomic::AtomicU64,
 }
 
 /// Cumulative counters for one strategy across engine runs.
@@ -112,7 +123,37 @@ impl CollabEngine {
             inference_cache: Arc::new(InferenceCache::new(0)),
             artifact_cache: Arc::new(ArtifactCache::new(0)),
             totals: RwLock::new(HashMap::new()),
+            retry_policy: RwLock::new(govern::RetryPolicy::default()),
+            fallback_chain: RwLock::new(Vec::new()),
+            fallbacks: std::sync::atomic::AtomicU64::new(0),
+            transfer_retries: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the DB↔DL transfer retry policy, returning the previous
+    /// one. Applies to strategies instantiated afterwards.
+    pub fn set_retry_policy(&self, policy: govern::RetryPolicy) -> govern::RetryPolicy {
+        std::mem::replace(&mut *self.retry_policy.write(), policy)
+    }
+
+    /// The current transfer retry policy.
+    pub fn retry_policy(&self) -> govern::RetryPolicy {
+        self.retry_policy.read().clone()
+    }
+
+    /// Installs the graceful-degradation chain: when a prepared query
+    /// fails under a strategy for a recoverable cause, the engine re-runs
+    /// it under the next kind in the chain (e.g. `[Tight, LooseUdf]`
+    /// makes tight failures degrade to the loose UDF path). Cancellation
+    /// and query timeouts never fall back — the caller asked for the
+    /// abort. Empty disables fallback (the default).
+    pub fn set_fallback_chain(&self, chain: Vec<StrategyKind>) {
+        *self.fallback_chain.write() = chain;
+    }
+
+    /// The current fallback chain.
+    pub fn fallback_chain(&self) -> Vec<StrategyKind> {
+        self.fallback_chain.read().clone()
     }
 
     /// The shared database.
@@ -184,7 +225,8 @@ impl CollabEngine {
                     Arc::clone(&self.server),
                     Arc::clone(&self.meter),
                 )
-                .with_inference_cache(Arc::clone(&self.inference_cache)),
+                .with_inference_cache(Arc::clone(&self.inference_cache))
+                .with_retry_policy(self.retry_policy()),
             ),
             StrategyKind::LooseUdf => Box::new(
                 LooseUdf::new(
@@ -255,6 +297,9 @@ impl CollabEngine {
         t.transfer_bytes += outcome.sim.transfer_bytes;
         t.cross_system_bytes += outcome.sim.cross_system_bytes;
         t.inference_flops += outcome.sim.inference_flops;
+        drop(totals);
+        self.transfer_retries
+            .fetch_add(outcome.governance.retries as u64, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// A point-in-time metrics registry: the database's series
@@ -349,6 +394,18 @@ impl CollabEngine {
             &[],
             art.evictions,
         );
+        reg.counter(
+            "collab_fallbacks_total",
+            "Queries rescued by the graceful-degradation chain",
+            &[],
+            self.fallbacks.load(std::sync::atomic::Ordering::Relaxed),
+        );
+        reg.counter(
+            "collab_transfer_retries_total",
+            "DB-DL transfer attempts that had to be retried",
+            &[],
+            self.transfer_retries.load(std::sync::atomic::Ordering::Relaxed),
+        );
         reg
     }
 }
@@ -369,7 +426,42 @@ impl PreparedCollabQuery<'_> {
     /// executes under a `strategy:<name>` root span (when the database's
     /// tracer is enabled), and the outcome is annotated with per-level
     /// cache deltas and the span tree.
+    ///
+    /// When the engine has a [fallback chain](CollabEngine::set_fallback_chain)
+    /// and the strategy fails for a recoverable cause, the query is re-run
+    /// under the successor kinds in the chain; a rescued outcome records
+    /// the originally-requested strategy in
+    /// [`GovernanceActivity::fell_back_from`](crate::metrics::GovernanceActivity).
+    /// Cancellation and query timeouts propagate immediately.
     pub fn run(&self, kind: StrategyKind) -> Result<StrategyOutcome> {
+        let mut current = kind;
+        let mut out = self.run_once(current);
+        loop {
+            let Err(err) = &out else { return out };
+            if matches!(
+                err.governance(),
+                Some(govern::QueryError::Canceled) | Some(govern::QueryError::TimedOut { .. })
+            ) {
+                return out;
+            }
+            let chain = self.engine.fallback_chain();
+            let Some(pos) = chain.iter().position(|k| *k == current) else { return out };
+            let Some(next) = chain.get(pos + 1).copied() else { return out };
+            current = next;
+            match self.run_once(current) {
+                Ok(mut o) => {
+                    o.governance.fell_back_from = Some(kind);
+                    self.engine.fallbacks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return Ok(o);
+                }
+                Err(e) => out = Err(e),
+            }
+        }
+    }
+
+    /// One strategy execution with tracing, cache-delta annotation and
+    /// run accounting — no fallback.
+    fn run_once(&self, kind: StrategyKind) -> Result<StrategyOutcome> {
         let engine = self.engine;
         let tracer = engine.db.tracer();
         let root = if tracer.is_enabled() {

@@ -18,6 +18,10 @@ pub enum Error {
     Coordinator(String),
     /// The in-process DL-serving channel failed.
     Channel(String),
+    /// A governance failure raised at the coordinator layer itself
+    /// (retry exhaustion on the DB↔DL transfer). Failures inside the
+    /// database arrive as [`Error::Db`] wrapping the same typed cause.
+    Governance(govern::QueryError),
 }
 
 impl fmt::Display for Error {
@@ -29,6 +33,7 @@ impl fmt::Display for Error {
             Error::UnknownNudf(name) => write!(f, "no model registered for nUDF '{name}'"),
             Error::Coordinator(msg) => write!(f, "coordinator error: {msg}"),
             Error::Channel(msg) => write!(f, "DL-serving channel error: {msg}"),
+            Error::Governance(e) => write!(f, "governance: {e}"),
         }
     }
 }
@@ -50,6 +55,27 @@ impl From<neuro::Error> for Error {
 impl From<dl2sql::Error> for Error {
     fn from(e: dl2sql::Error) -> Self {
         Error::Dl2Sql(e)
+    }
+}
+
+impl From<govern::QueryError> for Error {
+    fn from(e: govern::QueryError) -> Self {
+        Error::Governance(e)
+    }
+}
+
+impl Error {
+    /// The governance cause (cancellation, timeout, budget, worker panic,
+    /// retry exhaustion), if this error is or wraps one — digs through the
+    /// database and DL2SQL layers so callers match on the typed cause
+    /// instead of parsing strings.
+    pub fn governance(&self) -> Option<&govern::QueryError> {
+        match self {
+            Error::Governance(e) => Some(e),
+            Error::Db(e) => e.governance(),
+            Error::Dl2Sql(e) => e.governance(),
+            _ => None,
+        }
     }
 }
 

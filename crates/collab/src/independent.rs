@@ -71,13 +71,35 @@ impl DlServer {
         DlServer { tx, handle: Some(handle) }
     }
 
-    /// Sends a batch and waits for predictions.
-    fn infer(&self, nudf: &str, payload: Bytes) -> Result<InferResponse> {
+    /// Sends a batch and waits for predictions, bounding the wait by
+    /// `timeout` when given. The `independent.transfer` failpoint sits in
+    /// front of the send so fault-injection tests can fail or delay the
+    /// cross-system hop deterministically.
+    fn infer(
+        &self,
+        nudf: &str,
+        payload: Bytes,
+        timeout: Option<Duration>,
+    ) -> Result<InferResponse> {
+        govern::failpoints::fire("independent.transfer")
+            .map_err(|f| Error::Channel(format!("injected transfer fault: {f:?}")))?;
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(InferRequest { nudf: nudf.to_string(), payload, reply: reply_tx })
             .map_err(|_| Error::Channel("DL server is down".into()))?;
-        reply_rx.recv().map_err(|_| Error::Channel("DL server dropped the request".into()))?
+        match timeout {
+            Some(limit) => reply_rx.recv_timeout(limit).map_err(|e| match e {
+                crossbeam::channel::RecvTimeoutError::Timeout => {
+                    Error::Channel(format!("transfer timed out after {limit:?}"))
+                }
+                crossbeam::channel::RecvTimeoutError::Disconnected => {
+                    Error::Channel("DL server dropped the request".into())
+                }
+            })?,
+            None => reply_rx
+                .recv()
+                .map_err(|_| Error::Channel("DL server dropped the request".into()))?,
+        }
     }
 }
 
@@ -179,6 +201,7 @@ pub struct Independent {
     server: Arc<DlServer>,
     meter: Arc<InferenceMeter>,
     inference: Arc<InferenceCache>,
+    retry: govern::RetryPolicy,
 }
 
 impl Independent {
@@ -190,7 +213,14 @@ impl Independent {
         server: Arc<DlServer>,
         meter: Arc<InferenceMeter>,
     ) -> Self {
-        Independent { db, repo, server, meter, inference: Arc::new(InferenceCache::new(0)) }
+        Independent {
+            db,
+            repo,
+            server,
+            meter,
+            inference: Arc::new(InferenceCache::new(0)),
+            retry: govern::RetryPolicy::default(),
+        }
     }
 
     /// Attaches a shared result-memoization cache. Memoized keyframes are
@@ -199,6 +229,52 @@ impl Independent {
     pub fn with_inference_cache(mut self, inference: Arc<InferenceCache>) -> Self {
         self.inference = inference;
         self
+    }
+
+    /// Sets the retry/backoff policy for the DB↔DL transfer.
+    pub fn with_retry_policy(mut self, retry: govern::RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// One transfer with bounded retries: transient channel failures are
+    /// retried with exponential backoff under the policy's per-call
+    /// timeout; anything else propagates immediately. Returns the reply
+    /// and how many retries it took.
+    fn transfer(&self, nudf: &str, payload: &Bytes) -> Result<(InferResponse, u32)> {
+        let attempts = self.retry.max_attempts.max(1);
+        let mut last: Option<Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.delay(attempt - 1));
+            }
+            match self.server.infer(nudf, payload.clone(), self.retry.call_timeout) {
+                Ok(resp) => return Ok((resp, attempt)),
+                // Channel-level failures (server hiccup, per-call timeout,
+                // injected fault) are the transient class worth retrying.
+                Err(e @ Error::Channel(_)) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(Error::Governance(govern::QueryError::RetryExhausted {
+            attempts,
+            last: last.map(|e| e.to_string()).unwrap_or_default(),
+        }))
+    }
+}
+
+/// Drops the intermediate table when the coordinator unwinds early, so an
+/// errored or canceled query never leaks `__indep_base` into the catalog.
+struct IntermediateGuard<'a> {
+    db: &'a Database,
+    armed: bool,
+}
+
+impl Drop for IntermediateGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.db.catalog().drop_table(INTERMEDIATE_TABLE, true);
+        }
     }
 }
 
@@ -318,6 +394,7 @@ impl Strategy for Independent {
         self.meter.reset();
         let mut loading = Duration::ZERO;
         let mut relational = Duration::ZERO;
+        let mut transfer_retries = 0u32;
 
         let calls = nudf_calls_in_query(q, &self.repo);
 
@@ -551,7 +628,8 @@ impl Strategy for Independent {
                 let request_bytes = payload.len();
                 loading += t_ser.elapsed();
 
-                let response = self.server.infer(name, payload)?;
+                let (response, retries) = self.transfer(name, &payload)?;
+                transfer_retries += retries;
                 self.meter.add_cross_bytes((request_bytes + response.payload.len()) as u64);
 
                 // Decode predictions and key them by their (keyframe,
@@ -609,6 +687,7 @@ impl Strategy for Independent {
         }
         let intermediate = Table::new(Schema::new(fields), columns)?;
         self.db.catalog().create_table(INTERMEDIATE_TABLE, intermediate, true)?;
+        let mut guard = IntermediateGuard { db: &self.db, armed: true };
         loading += t_mat.elapsed();
 
         // ---- phase 4: the rewritten final query --------------------------
@@ -666,6 +745,7 @@ impl Strategy for Independent {
 
         // Cleanup of the intermediate (coordination overhead).
         let t_drop = Instant::now();
+        guard.armed = false;
         self.db.catalog().drop_table(INTERMEDIATE_TABLE, true)?;
         loading += t_drop.elapsed();
 
@@ -675,6 +755,10 @@ impl Strategy for Independent {
             table,
             breakdown: CostBreakdown { loading, inference: self.meter.total(), relational },
             sim: self.meter.summary(),
+            governance: crate::metrics::GovernanceActivity {
+                retries: transfer_retries,
+                fell_back_from: None,
+            },
         })
     }
 }

@@ -217,6 +217,7 @@ impl Strategy for LooseUdf {
                 relational: total_run.saturating_sub(inference),
             },
             sim: self.meter.summary(),
+            governance: crate::metrics::GovernanceActivity::default(),
         })
     }
 }

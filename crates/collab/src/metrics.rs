@@ -58,6 +58,17 @@ impl CacheActivity {
     }
 }
 
+/// Governance activity observed while producing one outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernanceActivity {
+    /// DB↔DL transfer attempts that had to be retried (independent
+    /// strategy; 0 when every transfer succeeded first try).
+    pub retries: u32,
+    /// When the engine's fallback chain rescued this query, the strategy
+    /// that originally failed. `None` for a first-try success.
+    pub fell_back_from: Option<crate::engine::StrategyKind>,
+}
+
 /// Result of one strategy execution.
 #[derive(Debug, Clone)]
 pub struct StrategyOutcome {
@@ -75,6 +86,10 @@ pub struct StrategyOutcome {
     /// Strategy-level span tree, present when the database's tracer was
     /// enabled (populated by the engine's prepared-query path).
     pub trace: Option<Arc<obs::SpanTree>>,
+    /// Retries and fallbacks behind this result (retries set by the
+    /// strategy, the fallback provenance by the engine's prepared-query
+    /// path).
+    pub governance: GovernanceActivity,
 }
 
 /// Simulated-work summary for device projection (see

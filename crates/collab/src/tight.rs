@@ -185,6 +185,7 @@ impl Strategy for Tight {
                 relational: total_run.saturating_sub(inference),
             },
             sim: self.meter.summary(),
+            governance: crate::metrics::GovernanceActivity::default(),
         })
     }
 }

@@ -42,5 +42,17 @@ impl From<neuro::Error> for Error {
     }
 }
 
+impl Error {
+    /// The governance cause (cancellation, timeout, budget, worker panic),
+    /// if this error wraps one — digs through the database layer so callers
+    /// can match on the typed cause without string parsing.
+    pub fn governance(&self) -> Option<&minidb::QueryError> {
+        match self {
+            Error::Db(e) => e.governance(),
+            _ => None,
+        }
+    }
+}
+
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, Error>;

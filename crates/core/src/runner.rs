@@ -113,6 +113,10 @@ impl Runner {
         let infer_start = Instant::now();
         let mut step_timings = Vec::with_capacity(self.compiled.steps.len());
         for (step, stmts) in self.compiled.steps.iter().zip(&self.parsed_steps) {
+            // Layer boundaries are the coarse cancellation points above
+            // statement granularity: a cancel lands here even when every
+            // individual statement is fast.
+            self.db.check_canceled()?;
             let span =
                 tracer.child(root, obs::SpanKind::Phase, &step.label, &format!("{:?}", step.kind));
             let t0 = Instant::now();
@@ -128,6 +132,7 @@ impl Runner {
         }
 
         // Prediction through the SQL path (ORDER BY prob DESC LIMIT 1).
+        self.db.check_canceled()?;
         let predict_span = tracer.child(root, obs::SpanKind::Phase, "predict", "");
         let pred = self.db.execute_statement(&self.predict_stmt)?;
         tracer.finish(predict_span);

@@ -501,6 +501,16 @@ pub fn load_state_table(
         Schema::new(vec![int_field("KernelID"), int_field("TupleID"), float_field("Value")]),
         vec![Column::Int64(kernel_id), Column::Int64(tuple_id), Column::Float64(value)],
     )?;
+    // Charge the materialization spike against the shared budget (the
+    // table replaces the previous state of the same name right after).
+    let _mem = match db.memory_budget() {
+        Some(budget) => Some(
+            budget
+                .reserve("nudf.state_table", table.memory_bytes() as u64)
+                .map_err(minidb::Error::Governance)?,
+        ),
+        None => None,
+    };
     db.catalog().create_table(name, table, true)?;
     registry.register(name, TableRole::State { rows });
     Ok(())

@@ -144,6 +144,22 @@ pub struct Database {
     /// Per-statement wall-time distribution, exported by
     /// [`Database::metrics_snapshot`].
     query_latency: obs::Histogram,
+    /// Session-wide cancel handle, created lazily on the first
+    /// [`Database::cancel_handle`] call so the common case (nobody
+    /// listening) keeps the unarmed governor fast path.
+    session_token: std::sync::OnceLock<govern::CancelToken>,
+    /// Shared memory-budget tracker, present when
+    /// [`ExecConfig::memory_budget`] is non-zero. Rebuilt on
+    /// [`Database::swap_exec_config`].
+    memory_budget: RwLock<Option<Arc<govern::MemoryBudget>>>,
+    /// Statements that returned an error (any cause).
+    query_failures: std::sync::atomic::AtomicU64,
+    /// Failure counts by governance cause, exported by
+    /// [`Database::metrics_snapshot`].
+    gov_cancellations: std::sync::atomic::AtomicU64,
+    gov_timeouts: std::sync::atomic::AtomicU64,
+    gov_budget_rejections: std::sync::atomic::AtomicU64,
+    gov_worker_panics: std::sync::atomic::AtomicU64,
 }
 
 impl Default for Database {
@@ -207,6 +223,21 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Wall-clock deadline per statement; exceeding it aborts the query
+    /// with [`govern::QueryError::TimedOut`]. `None` disables the check.
+    pub fn query_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.exec_config.query_timeout = Some(timeout);
+        self
+    }
+
+    /// Byte budget shared by all memory-intensive operators (hash-join
+    /// builds, group-by tables, fused accumulators). `0` disables
+    /// enforcement.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.exec_config.memory_budget = bytes;
+        self
+    }
+
     /// Builds the database.
     pub fn build(self) -> Database {
         let plan_cache = cachekit::LruCache::new(self.exec_config.plan_cache_capacity);
@@ -214,6 +245,7 @@ impl DatabaseBuilder {
             Arc::new(|tree: &obs::SpanTree| {
                 eprintln!("[minidb] slow query:\n{}", tree.render());
             });
+        let memory_budget = Database::build_budget(&self.exec_config);
         Database {
             catalog: Catalog::new(),
             udfs: UdfRegistry::new(),
@@ -227,6 +259,13 @@ impl DatabaseBuilder {
             tracer: obs::Collector::new(),
             slow_query_hook: RwLock::new(default_hook),
             query_latency: obs::Histogram::new(&[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0]),
+            session_token: std::sync::OnceLock::new(),
+            memory_budget: RwLock::new(memory_budget),
+            query_failures: std::sync::atomic::AtomicU64::new(0),
+            gov_cancellations: std::sync::atomic::AtomicU64::new(0),
+            gov_timeouts: std::sync::atomic::AtomicU64::new(0),
+            gov_budget_rejections: std::sync::atomic::AtomicU64::new(0),
+            gov_worker_panics: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
@@ -331,7 +370,51 @@ impl Database {
     pub fn swap_exec_config(&self, config: ExecConfig) -> ExecConfig {
         self.config_epoch.bump();
         self.plan_cache.set_capacity(config.plan_cache_capacity);
+        *self.memory_budget.write() = Database::build_budget(&config);
         std::mem::replace(&mut *self.exec_config.write(), config)
+    }
+
+    fn build_budget(config: &ExecConfig) -> Option<Arc<govern::MemoryBudget>> {
+        (config.memory_budget > 0)
+            .then(|| Arc::new(govern::MemoryBudget::new(config.memory_budget)))
+    }
+
+    /// The session-wide cancel handle. Cancelling it makes every running
+    /// and subsequent statement on this database fail with
+    /// [`govern::QueryError::Canceled`] until
+    /// [`reset`](govern::CancelToken::reset) is called.
+    pub fn cancel_handle(&self) -> govern::CancelToken {
+        self.session_token.get_or_init(govern::CancelToken::new).clone()
+    }
+
+    /// Errors with [`govern::QueryError::Canceled`] when the session
+    /// cancel handle is set. Layers above statement granularity (the
+    /// multi-step DL2SQL runner) call this between steps.
+    pub fn check_canceled(&self) -> Result<()> {
+        match self.session_token.get() {
+            Some(token) if token.is_canceled() => {
+                // A rejection here aborts work that never reaches the
+                // statement machinery; count it so metrics agree with
+                // what callers observe.
+                self.gov_cancellations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Err(Error::Governance(govern::QueryError::Canceled))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The shared memory-budget tracker, when one is configured.
+    pub fn memory_budget(&self) -> Option<Arc<govern::MemoryBudget>> {
+        self.memory_budget.read().clone()
+    }
+
+    /// A governor for one statement starting now: the query-level token if
+    /// given, else the session token (if anyone holds the handle), with the
+    /// deadline derived from [`ExecConfig::query_timeout`]. Unarmed — a
+    /// single-branch no-op per check — when neither is configured.
+    fn statement_governor(&self, token: Option<govern::CancelToken>) -> govern::Governor {
+        let token = token.or_else(|| self.session_token.get().cloned());
+        govern::Governor::new(token, self.exec_config.read().query_timeout)
     }
 
     /// The current executor configuration.
@@ -360,16 +443,23 @@ impl Database {
     /// served from an epoch-validated plan cache, skipping parse + plan
     /// entirely; any catalog change invalidates affected entries wholesale.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let started = std::time::Instant::now();
+        let governor = self.statement_governor(None);
         let root = self.query_root();
         let pc_before = self.profiler.plan_cache_stats();
-        let out = self.execute_traced(sql, root);
-        self.finalize_query(root, pc_before, out)
+        let out = self.execute_traced(sql, root, &governor);
+        self.finalize_query(root, pc_before, started, out)
     }
 
-    fn execute_traced(&self, sql: &str, root: obs::SpanId) -> Result<QueryResult> {
+    fn execute_traced(
+        &self,
+        sql: &str,
+        root: obs::SpanId,
+        governor: &govern::Governor,
+    ) -> Result<QueryResult> {
         if self.plan_cache.capacity() == 0 {
             let stmt = self.parse_spanned(sql, root)?;
-            return self.execute_statement_spanned(&stmt, root);
+            return self.execute_statement_spanned(&stmt, root, governor);
         }
         let key = normalize_sql(sql);
         // Read the epoch before planning: a concurrent mutation between
@@ -380,7 +470,7 @@ impl Database {
             if cached_epoch == epoch {
                 self.profiler.record_plan_cache(true);
                 self.tracer.event(root, "plan_cache", "hit");
-                let mut result = self.run_plan_timed_spanned(&plan, root)?;
+                let mut result = self.run_plan_timed_spanned(&plan, root, governor)?;
                 result.plan_cache_hit = true;
                 return Ok(result);
             }
@@ -392,9 +482,9 @@ impl Database {
             self.tracer.event(root, "plan_cache", "miss");
             let plan = Arc::new(self.plan_query_spanned(q, root)?);
             self.plan_cache.insert(key, (epoch, Arc::clone(&plan)));
-            return self.run_plan_timed_spanned(&plan, root);
+            return self.run_plan_timed_spanned(&plan, root, governor);
         }
-        self.execute_statement_spanned(&stmt, root)
+        self.execute_statement_spanned(&stmt, root, governor)
     }
 
     /// Root span for one statement: created when the collector is enabled
@@ -412,13 +502,20 @@ impl Database {
     /// Closes a statement's root span: extracts the tree, fires the
     /// slow-query hook when the statement crossed the threshold, attaches
     /// the trace and per-statement plan-cache delta to the result, and
-    /// feeds the latency histogram.
+    /// feeds the latency histogram. Errored statements feed the histogram
+    /// too (with their wall time up to the failure) and bump the failure
+    /// counters by governance cause — previously they silently skipped
+    /// accounting entirely.
     fn finalize_query(
         &self,
         root: obs::SpanId,
         pc_before: cachekit::StatsSnapshot,
+        started: std::time::Instant,
         out: Result<QueryResult>,
     ) -> Result<QueryResult> {
+        if let Err(err) = &out {
+            self.note_failure(root, err, started);
+        }
         let tree = if root.is_some() {
             self.tracer.finish(root);
             Some(self.tracer.take_tree(root))
@@ -446,6 +543,37 @@ impl Database {
         Ok(result)
     }
 
+    /// Failure-side bookkeeping for [`finalize_query`](Self::finalize_query):
+    /// latency histogram, failure counters by governance cause, and a
+    /// `governance` trace event when the statement was traced.
+    fn note_failure(&self, root: obs::SpanId, err: &Error, started: std::time::Instant) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.query_latency.observe(started.elapsed().as_secs_f64());
+        self.query_failures.fetch_add(1, Relaxed);
+        let cause = match err.governance() {
+            Some(govern::QueryError::Canceled) => {
+                self.gov_cancellations.fetch_add(1, Relaxed);
+                "canceled"
+            }
+            Some(govern::QueryError::TimedOut { .. }) => {
+                self.gov_timeouts.fetch_add(1, Relaxed);
+                "timed_out"
+            }
+            Some(govern::QueryError::BudgetExceeded { .. }) => {
+                self.gov_budget_rejections.fetch_add(1, Relaxed);
+                "budget_exceeded"
+            }
+            Some(govern::QueryError::WorkerPanic(_)) => {
+                self.gov_worker_panics.fetch_add(1, Relaxed);
+                "worker_panic"
+            }
+            _ => "error",
+        };
+        if root.is_some() {
+            self.tracer.event(root, "governance", cause);
+        }
+    }
+
     /// Parses under a `parse` phase span.
     fn parse_spanned(&self, sql: &str, parent: obs::SpanId) -> Result<Statement> {
         let span = self.tracer.child(parent, obs::SpanKind::Phase, "parse", "");
@@ -460,11 +588,12 @@ impl Database {
         &self,
         plan: &LogicalPlan,
         parent: obs::SpanId,
+        governor: &govern::Governor,
     ) -> Result<QueryResult> {
         let scanned_before = self.profiler.rows_out(OperatorKind::Scan);
         let start = std::time::Instant::now();
         let span = self.tracer.child(parent, obs::SpanKind::Phase, "execute", "");
-        let table = self.execute_plan_spanned(plan, span);
+        let table = self.execute_plan_spanned(plan, span, governor);
         self.tracer.finish(span);
         let table = table?;
         let rows = table.num_rows();
@@ -488,30 +617,38 @@ impl Database {
     /// Executes a parsed statement, stamping the result with its wall time
     /// and the number of base-table rows its Scan operators read.
     pub fn execute_statement(&self, stmt: &Statement) -> Result<QueryResult> {
+        let started = std::time::Instant::now();
+        let governor = self.statement_governor(None);
         let root = self.query_root();
         let pc_before = self.profiler.plan_cache_stats();
-        let out = self.execute_statement_spanned(stmt, root);
-        self.finalize_query(root, pc_before, out)
+        let out = self.execute_statement_spanned(stmt, root, &governor);
+        self.finalize_query(root, pc_before, started, out)
     }
 
     fn execute_statement_spanned(
         &self,
         stmt: &Statement,
         span: obs::SpanId,
+        governor: &govern::Governor,
     ) -> Result<QueryResult> {
         let scanned_before = self.profiler.rows_out(OperatorKind::Scan);
         let start = std::time::Instant::now();
-        let mut result = self.execute_statement_inner(stmt, span)?;
+        let mut result = self.execute_statement_inner(stmt, span, governor)?;
         result.elapsed = start.elapsed();
         result.rows_scanned =
             self.profiler.rows_out(OperatorKind::Scan).saturating_sub(scanned_before);
         Ok(result)
     }
 
-    fn execute_statement_inner(&self, stmt: &Statement, span: obs::SpanId) -> Result<QueryResult> {
+    fn execute_statement_inner(
+        &self,
+        stmt: &Statement,
+        span: obs::SpanId,
+        governor: &govern::Governor,
+    ) -> Result<QueryResult> {
         match stmt {
             Statement::Query(q) => {
-                let table = self.run_query_spanned(q, span)?;
+                let table = self.run_query_spanned(q, span, governor)?;
                 let rows = table.num_rows();
                 Ok(QueryResult::of(table, rows))
             }
@@ -522,7 +659,7 @@ impl Database {
                 // The inner query's operators record themselves; the
                 // CreateTable entry covers only the materialization.
                 let table = match as_query {
-                    Some(q) => self.run_query_spanned(q, span)?,
+                    Some(q) => self.run_query_spanned(q, span, governor)?,
                     None => {
                         let schema = Schema::new(
                             columns.iter().map(|(n, t)| Field::new(n.clone(), *t)).collect(),
@@ -551,7 +688,7 @@ impl Database {
                     .catalog
                     .table(table)
                     .ok_or_else(|| Error::NotFound(format!("table '{table}'")))?;
-                let incoming = self.run_query_spanned(query, span)?;
+                let incoming = self.run_query_spanned(query, span, governor)?;
                 if incoming.num_columns() != current.num_columns() {
                     return Err(Error::Plan(format!(
                         "INSERT SELECT produces {} columns, table '{table}' has {}",
@@ -588,7 +725,7 @@ impl Database {
                 let rows = table.num_rows();
                 Ok(QueryResult::of(table, rows))
             }
-            Statement::ExplainAnalyze(inner) => self.explain_analyze(inner),
+            Statement::ExplainAnalyze(inner) => self.explain_analyze(inner, governor),
             Statement::Drop { kind, name, if_exists } => {
                 let dropped = match kind {
                     ObjectKind::Table => self.catalog.drop_table(name, *if_exists)?,
@@ -613,20 +750,33 @@ impl Database {
 
     /// Plans an already-parsed SELECT for repeated execution.
     pub fn prepare_query(&self, q: &Query) -> Result<PreparedQuery<'_>> {
-        Ok(PreparedQuery { db: self, plan: self.plan_query(q)? })
+        Ok(PreparedQuery { db: self, plan: self.plan_query(q)?, token: std::sync::OnceLock::new() })
     }
 
-    /// Plans, optimizes and executes a SELECT.
+    /// Plans, optimizes and executes a SELECT. Failures count toward the
+    /// same governance metrics as [`execute`](Self::execute) — this is
+    /// the entry point the collaborative strategies drive directly.
     pub fn run_query(&self, q: &Query) -> Result<Table> {
-        self.run_query_spanned(q, obs::SpanId::NONE)
+        let started = std::time::Instant::now();
+        let governor = self.statement_governor(None);
+        let out = self.run_query_spanned(q, obs::SpanId::NONE, &governor);
+        if let Err(err) = &out {
+            self.note_failure(obs::SpanId::NONE, err, started);
+        }
+        out
     }
 
     /// [`run_query`](Self::run_query) with plan/execute phase spans
     /// nesting under `parent`.
-    fn run_query_spanned(&self, q: &Query, parent: obs::SpanId) -> Result<Table> {
+    fn run_query_spanned(
+        &self,
+        q: &Query,
+        parent: obs::SpanId,
+        governor: &govern::Governor,
+    ) -> Result<Table> {
         let plan = self.plan_query_spanned(q, parent)?;
         let span = self.tracer.child(parent, obs::SpanKind::Phase, "execute", "");
-        let out = self.execute_plan_spanned(&plan, span);
+        let out = self.execute_plan_spanned(&plan, span, governor);
         self.tracer.finish(span);
         out
     }
@@ -687,12 +837,18 @@ impl Database {
 
     /// Executes an already-optimized plan.
     pub fn execute_plan(&self, plan: &LogicalPlan) -> Result<Table> {
-        self.execute_plan_spanned(plan, obs::SpanId::NONE)
+        let governor = self.statement_governor(None);
+        self.execute_plan_spanned(plan, obs::SpanId::NONE, &governor)
     }
 
     /// [`execute_plan`](Self::execute_plan) with operator spans nesting
     /// under `span` (pass [`obs::SpanId::NONE`] to disable tracing).
-    fn execute_plan_spanned(&self, plan: &LogicalPlan, span: obs::SpanId) -> Result<Table> {
+    fn execute_plan_spanned(
+        &self,
+        plan: &LogicalPlan,
+        span: obs::SpanId,
+        governor: &govern::Governor,
+    ) -> Result<Table> {
         let exec_config = self.exec_config.read().clone();
         let ctx = ExecContext {
             catalog: &self.catalog,
@@ -701,6 +857,8 @@ impl Database {
             config: &exec_config,
             tracer: &self.tracer,
             span,
+            governor: governor.clone(),
+            budget: self.memory_budget.read().clone(),
         };
         exec::execute(plan, &ctx)
     }
@@ -748,10 +906,14 @@ impl Database {
     /// — phases, operators with actual rows/loops/exclusive time/effective
     /// parallelism/bytes-not-materialized, cache events, morsel workers —
     /// as a one-column `plan` table (the `EXPLAIN ANALYZE` statement).
-    fn explain_analyze(&self, stmt: &Statement) -> Result<QueryResult> {
+    fn explain_analyze(
+        &self,
+        stmt: &Statement,
+        governor: &govern::Governor,
+    ) -> Result<QueryResult> {
         // Forced root: EXPLAIN ANALYZE traces even with the collector off.
         let root = self.tracer.start_root("query");
-        let out = self.execute_statement_spanned(stmt, root);
+        let out = self.execute_statement_spanned(stmt, root, governor);
         self.tracer.finish(root);
         let tree = self.tracer.take_tree(root);
         let inner = out?;
@@ -840,6 +1002,59 @@ impl Database {
             &[],
             self.query_latency.snapshot(),
         );
+        {
+            use std::sync::atomic::Ordering::Relaxed;
+            reg.counter(
+                "minidb_query_failures_total",
+                "Statements that returned an error (any cause)",
+                &[],
+                self.query_failures.load(Relaxed),
+            );
+            reg.counter(
+                "minidb_query_cancellations_total",
+                "Statements aborted by a cancel handle",
+                &[],
+                self.gov_cancellations.load(Relaxed),
+            );
+            reg.counter(
+                "minidb_query_timeouts_total",
+                "Statements aborted by the query timeout",
+                &[],
+                self.gov_timeouts.load(Relaxed),
+            );
+            reg.counter(
+                "minidb_budget_rejections_total",
+                "Statements aborted by the memory budget",
+                &[],
+                self.gov_budget_rejections.load(Relaxed),
+            );
+            reg.counter(
+                "minidb_worker_panics_total",
+                "Statements aborted by a caught worker panic",
+                &[],
+                self.gov_worker_panics.load(Relaxed),
+            );
+        }
+        if let Some(budget) = self.memory_budget.read().as_ref() {
+            reg.gauge(
+                "minidb_memory_budget_limit_bytes",
+                "Configured operator memory budget",
+                &[],
+                budget.limit() as f64,
+            );
+            reg.gauge(
+                "minidb_memory_budget_in_use_bytes",
+                "Bytes currently reserved against the budget",
+                &[],
+                budget.in_use() as f64,
+            );
+            reg.gauge(
+                "minidb_memory_budget_peak_bytes",
+                "High-water mark of reserved bytes",
+                &[],
+                budget.peak() as f64,
+            );
+        }
         let pool = taskpool::stats();
         reg.counter("taskpool_regions_total", "Parallel regions entered", &[], pool.regions);
         reg.counter("taskpool_tasks_total", "Tasks executed", &[], pool.tasks);
@@ -854,6 +1069,12 @@ impl Database {
             "Largest worker count any region ran with",
             &[],
             pool.peak_workers as f64,
+        );
+        reg.counter(
+            "taskpool_caught_panics_total",
+            "Worker panics caught and converted to errors",
+            &[],
+            pool.caught_panics,
         );
         reg
     }
@@ -968,6 +1189,9 @@ impl Database {
 pub struct PreparedQuery<'a> {
     db: &'a Database,
     plan: LogicalPlan,
+    /// Created lazily on the first [`cancel_handle`](Self::cancel_handle)
+    /// call; when absent, runs fall back to the database session token.
+    token: std::sync::OnceLock<govern::CancelToken>,
 }
 
 impl PreparedQuery<'_> {
@@ -976,13 +1200,23 @@ impl PreparedQuery<'_> {
         &self.plan
     }
 
+    /// A cancel handle scoped to this prepared query: cancelling it aborts
+    /// in-flight and subsequent [`run`](Self::run) calls (until
+    /// [`reset`](govern::CancelToken::reset)) without touching other
+    /// statements on the database.
+    pub fn cancel_handle(&self) -> govern::CancelToken {
+        self.token.get_or_init(govern::CancelToken::new).clone()
+    }
+
     /// Executes the prepared plan, stamping timing metadata like
     /// [`Database::execute_statement`] (without the parse/plan cost).
     pub fn run(&self) -> Result<QueryResult> {
+        let started = std::time::Instant::now();
+        let governor = self.db.statement_governor(self.token.get().cloned());
         let root = self.db.query_root();
         let pc_before = self.db.profiler.plan_cache_stats();
-        let out = self.db.run_plan_timed_spanned(&self.plan, root);
-        self.db.finalize_query(root, pc_before, out)
+        let out = self.db.run_plan_timed_spanned(&self.plan, root, &governor);
+        self.db.finalize_query(root, pc_before, started, out)
     }
 }
 

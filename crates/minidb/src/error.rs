@@ -22,6 +22,10 @@ pub enum Error {
     Exec(String),
     /// A scalar subquery returned something other than one row/one column.
     Subquery(String),
+    /// A governance failure (cancellation, timeout, memory budget,
+    /// caught worker panic). Carried as the typed [`govern::QueryError`]
+    /// so upper layers can match on the cause without string parsing.
+    Governance(govern::QueryError),
 }
 
 impl fmt::Display for Error {
@@ -36,11 +40,34 @@ impl fmt::Display for Error {
             Error::Plan(msg) => write!(f, "planning error: {msg}"),
             Error::Exec(msg) => write!(f, "execution error: {msg}"),
             Error::Subquery(msg) => write!(f, "scalar subquery error: {msg}"),
+            Error::Governance(err) => write!(f, "governance: {err}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<govern::QueryError> for Error {
+    fn from(err: govern::QueryError) -> Self {
+        Error::Governance(err)
+    }
+}
+
+impl From<taskpool::PanicError> for Error {
+    fn from(err: taskpool::PanicError) -> Self {
+        Error::Governance(govern::QueryError::WorkerPanic(err.message))
+    }
+}
+
+impl Error {
+    /// The governance cause, if this error is (or wraps) one.
+    pub fn governance(&self) -> Option<&govern::QueryError> {
+        match self {
+            Error::Governance(err) => Some(err),
+            _ => None,
+        }
+    }
+}
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, Error>;

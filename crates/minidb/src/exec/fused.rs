@@ -187,8 +187,12 @@ pub(crate) fn join_aggregate(
     let (mut folded, extra_busy, build_time) = match (&lk, &rk) {
         (JoinKeys::Packed(l), JoinKeys::Packed(r)) => {
             let (build, probe) = if build_left { (l, r) } else { (r, l) };
+            let _build_mem = ctx.reserve("fused.build", super::build_bytes(build.len(), 16))?;
             let mut table: FxHashMap<i128, Vec<usize>> = fx_map_with_capacity(build.len());
             for (row, &k) in build.iter().enumerate() {
+                if row % super::CHECK_STRIDE == 0 {
+                    ctx.check()?;
+                }
                 table.entry(k).or_default().push(row);
             }
             let build_time = setup_start.elapsed();
@@ -207,8 +211,12 @@ pub(crate) fn join_aggregate(
             let lg = composite_keys(lt, &l_exprs, ctx)?;
             let rg = composite_keys(rt, &r_exprs, ctx)?;
             let (build, probe) = if build_left { (&lg, &rg) } else { (&rg, &lg) };
+            let _build_mem = ctx.reserve("fused.build", super::build_bytes(build.len(), 32))?;
             let mut table: FxHashMap<&[Key], Vec<usize>> = fx_map_with_capacity(build.len());
             for (row, k) in build.iter().enumerate() {
+                if row % super::CHECK_STRIDE == 0 {
+                    ctx.check()?;
+                }
                 table.entry(k.as_slice()).or_default().push(row);
             }
             let build_time = setup_start.elapsed();
@@ -224,6 +232,11 @@ pub(crate) fn join_aggregate(
             (folded, extra_busy, build_time)
         }
     };
+
+    // The merged accumulator table is the fused operator's second big
+    // allocation; charge it once its size is known.
+    let _acc_mem =
+        ctx.reserve("fused.accs", super::group_state_bytes(folded.accs.len(), aggs.len()))?;
 
     // Global aggregate over zero pairs still emits one group.
     if group.is_empty() && folded.accs.is_empty() {
@@ -411,20 +424,21 @@ where
     LF: Fn(usize) -> Option<&'a Vec<usize>> + Sync,
 {
     if !parallel::active(ctx.config, probe_len) {
-        let local = fold_range(0..probe_len, &lookup, build_left, &keyer, args, aggs)?;
+        let local = fold_range(0..probe_len, &lookup, build_left, &keyer, args, aggs, ctx)?;
         return Ok((local.folded, Duration::ZERO));
     }
 
     let probe_start = Instant::now();
     let ranges = taskpool::split_ranges(probe_len, ctx.config.morsel_rows);
-    let parts = taskpool::run_ranges(ctx.config.parallelism, &ranges, |range| {
+    let parts = taskpool::try_run_ranges(ctx.config.parallelism, &ranges, |range| {
+        parallel::morsel_checkpoint(ctx)?;
         let t0 = parallel::morsel_t0(ctx);
         let start = Instant::now();
-        let local = fold_range(range.clone(), &lookup, build_left, &keyer, args, aggs)?;
+        let local = fold_range(range.clone(), &lookup, build_left, &keyer, args, aggs, ctx)?;
         let elapsed = start.elapsed();
         parallel::note_morsel(ctx, &range, t0, local.keys.len() as u64);
         Ok::<_, crate::error::Error>((local, elapsed))
-    });
+    })?;
 
     // Merge partials in morsel order: group ids follow first occurrence
     // across morsels, matching the serial probe's group order.
@@ -456,6 +470,7 @@ where
 }
 
 /// The probe-and-fold inner loop over one probe-row range.
+#[allow(clippy::too_many_arguments)] // the fold's full evaluation state
 fn fold_range<'a, K, KF, LF>(
     range: std::ops::Range<usize>,
     lookup: &LF,
@@ -463,6 +478,7 @@ fn fold_range<'a, K, KF, LF>(
     keyer: &KF,
     args: &[FusedArg],
     aggs: &[AggExpr],
+    ctx: &ExecContext<'_>,
 ) -> Result<LocalGroups<K>>
 where
     K: Eq + Hash + Clone,
@@ -472,6 +488,9 @@ where
     let mut ids: FxHashMap<K, usize> = fx_map_with_capacity(64);
     let mut local = LocalGroups { keys: Vec::new(), folded: FoldedGroups::default() };
     for probe_row in range {
+        if probe_row % super::CHECK_STRIDE == 0 {
+            ctx.check()?;
+        }
         let Some(matches) = lookup(probe_row) else { continue };
         for &build_row in matches {
             let (li, ri) = if build_left { (build_row, probe_row) } else { (probe_row, build_row) };

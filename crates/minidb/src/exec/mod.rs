@@ -46,6 +46,18 @@ pub struct ExecConfig {
     /// and their full span tree is handed to the database's slow-query
     /// hook. `None` (the default) disables the slow-query log.
     pub slow_query_threshold: Option<Duration>,
+    /// Per-statement wall-clock deadline. Checked cooperatively at
+    /// operator and morsel boundaries (and on a stride inside serial
+    /// loops), so a timed-out query aborts within a few morsels of the
+    /// deadline with [`govern::QueryError::TimedOut`]. `None` (the
+    /// default) disables the deadline.
+    pub query_timeout: Option<Duration>,
+    /// Memory budget in bytes shared by every memory-hungry operator of
+    /// the session (hash-join builds, group-by tables, fused
+    /// accumulators). Reservations past the budget fail with
+    /// [`govern::QueryError::BudgetExceeded`]. `0` (the default)
+    /// disables the budget.
+    pub memory_budget: u64,
 }
 
 impl Default for ExecConfig {
@@ -58,6 +70,8 @@ impl Default for ExecConfig {
             min_parallel_rows: 4096,
             plan_cache_capacity: 64,
             slow_query_threshold: None,
+            query_timeout: None,
+            memory_budget: 0,
         }
     }
 }
@@ -73,6 +87,11 @@ pub struct ExecContext<'a> {
     /// Span operator spans nest under; `NONE` disables tracing for the
     /// whole subtree (the zero-cost-when-off path — no atomics, no lock).
     pub span: obs::SpanId,
+    /// Cancellation + deadline checkpoint. [`govern::Governor::unrestricted`]
+    /// (a single never-taken branch per check) when governance is off.
+    pub governor: govern::Governor,
+    /// Session memory budget; `None` when disabled.
+    pub budget: Option<std::sync::Arc<govern::MemoryBudget>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -89,6 +108,25 @@ impl<'a> ExecContext<'a> {
             config: self.config,
             tracer: self.tracer,
             span,
+            governor: self.governor.clone(),
+            budget: self.budget.clone(),
+        }
+    }
+
+    /// Cooperative governance checkpoint: errors when the statement was
+    /// canceled or overran its deadline.
+    #[inline]
+    pub fn check(&self) -> Result<()> {
+        self.governor.check().map_err(Error::Governance)
+    }
+
+    /// Reserves `bytes` against the session memory budget (no-op when no
+    /// budget is configured). Hold the returned guard for the lifetime of
+    /// the allocation it covers; dropping it releases the bytes.
+    pub fn reserve(&self, site: &str, bytes: u64) -> Result<Option<govern::Reservation>> {
+        match &self.budget {
+            None => Ok(None),
+            Some(budget) => budget.reserve(site, bytes).map(Some).map_err(Error::Governance),
         }
     }
 
@@ -197,7 +235,12 @@ fn variant_name(plan: &LogicalPlan) -> &'static str {
     }
 }
 
+/// Serial row loops check the governor once per this many rows, keeping
+/// cancellation latency at morsel scale without measurable per-row cost.
+pub(crate) const CHECK_STRIDE: usize = 4096;
+
 fn execute_node(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
+    ctx.check()?;
     match plan {
         LogicalPlan::Scan { table, .. } => {
             let start = Instant::now();
@@ -279,6 +322,9 @@ fn execute_node(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Table> {
             let mut l_idx = Vec::with_capacity(ln * rn);
             let mut r_idx = Vec::with_capacity(ln * rn);
             for i in 0..ln {
+                if i % CHECK_STRIDE == 0 {
+                    ctx.check()?;
+                }
                 for j in 0..rn {
                     l_idx.push(i);
                     r_idx.push(j);
@@ -529,6 +575,18 @@ fn join_keys(table: &Table, exprs: &[BoundExpr], ctx: &ExecContext<'_>) -> Resul
     Ok(JoinKeys::General)
 }
 
+/// Rough per-entry footprint of a hash build table charged against the
+/// memory budget: key bytes plus bucket-vector overhead and one row index.
+pub(crate) fn build_bytes(rows: usize, key_bytes: usize) -> u64 {
+    (rows as u64) * (key_bytes as u64 + 40)
+}
+
+/// Rough footprint of a group-by state table: per group, the key slot
+/// plus one accumulator per aggregate.
+pub(crate) fn group_state_bytes(groups: usize, aggs: usize) -> u64 {
+    (groups as u64) * (48 + 48 * aggs as u64)
+}
+
 /// Hash join: serial build on the smaller side, probe either serially or
 /// morsel-parallel. Returns the joined table plus any worker busy time the
 /// parallel probe accrued beyond its own wall time (zero when serial), so
@@ -553,19 +611,26 @@ fn hash_join(
     let (build_rows, probe_rows) = match (&lk, &rk) {
         (JoinKeys::Packed(l), JoinKeys::Packed(r)) => {
             let (build, probe) = if build_left { (l, r) } else { (r, l) };
+            let _build_mem = ctx.reserve("join.build", build_bytes(build.len(), 16))?;
             let mut table: FxHashMap<i128, Vec<usize>> = fx_map_with_capacity(build.len());
             for (row, &k) in build.iter().enumerate() {
+                if row % CHECK_STRIDE == 0 {
+                    ctx.check()?;
+                }
                 table.entry(k).or_default().push(row);
             }
             if parallel::active(ctx.config, probe.len()) {
                 let probe_start = Instant::now();
-                let (b, p, busy) = parallel::probe(probe.len(), |row| table.get(&probe[row]), ctx);
+                let (b, p, busy) = parallel::probe(probe.len(), |row| table.get(&probe[row]), ctx)?;
                 extra_busy = busy.saturating_sub(probe_start.elapsed());
                 (b, p)
             } else {
                 let mut b = Vec::new();
                 let mut p = Vec::new();
                 for (probe_row, k) in probe.iter().enumerate() {
+                    if probe_row % CHECK_STRIDE == 0 {
+                        ctx.check()?;
+                    }
                     if let Some(matches) = table.get(k) {
                         for &build_row in matches {
                             b.push(build_row);
@@ -583,20 +648,27 @@ fn hash_join(
             let lg = composite_keys(lt, &l_keys, ctx)?;
             let rg = composite_keys(rt, &r_keys, ctx)?;
             let (build, probe) = if build_left { (&lg, &rg) } else { (&rg, &lg) };
+            let _build_mem = ctx.reserve("join.build", build_bytes(build.len(), 32))?;
             let mut table: FxHashMap<&[Key], Vec<usize>> = fx_map_with_capacity(build.len());
             for (row, k) in build.iter().enumerate() {
+                if row % CHECK_STRIDE == 0 {
+                    ctx.check()?;
+                }
                 table.entry(k.as_slice()).or_default().push(row);
             }
             if parallel::active(ctx.config, probe.len()) {
                 let probe_start = Instant::now();
                 let (b, p, busy) =
-                    parallel::probe(probe.len(), |row| table.get(probe[row].as_slice()), ctx);
+                    parallel::probe(probe.len(), |row| table.get(probe[row].as_slice()), ctx)?;
                 extra_busy = busy.saturating_sub(probe_start.elapsed());
                 (b, p)
             } else {
                 let mut b = Vec::new();
                 let mut p = Vec::new();
                 for (probe_row, k) in probe.iter().enumerate() {
+                    if probe_row % CHECK_STRIDE == 0 {
+                        ctx.check()?;
+                    }
                     if let Some(matches) = table.get(k.as_slice()) {
                         for &build_row in matches {
                             b.push(build_row);
@@ -847,6 +919,7 @@ fn aggregate(
     // Global aggregate: exactly one group even with zero input rows.
     let n_groups =
         if group.is_empty() { 1.max(group_first_row.len()) } else { group_first_row.len() };
+    let _group_mem = ctx.reserve("agg.groups", group_state_bytes(n_groups, aggs.len()))?;
 
     // Accumulate.
     let mut accs: Vec<Vec<Acc>> = (0..n_groups)
@@ -859,6 +932,9 @@ fn aggregate(
         .collect();
     #[allow(clippy::needless_range_loop)] // row drives parallel column reads
     for row in 0..n {
+        if row % CHECK_STRIDE == 0 {
+            ctx.check()?;
+        }
         let g = if group.is_empty() { 0 } else { row_group[row] };
         for (ai, col) in arg_cols.iter().enumerate() {
             let v = col.as_ref().map(|c| c.value(row));
@@ -915,6 +991,8 @@ mod tests {
             config: &config,
             tracer: obs::disabled(),
             span: obs::SpanId::NONE,
+            governor: govern::Governor::unrestricted(),
+            budget: None,
         };
         let plan = LogicalPlan::Filter {
             input: Box::new(LogicalPlan::Scan {
@@ -945,6 +1023,8 @@ mod tests {
             config: &config,
             tracer: obs::disabled(),
             span: obs::SpanId::NONE,
+            governor: govern::Governor::unrestricted(),
+            budget: None,
         };
         let lt = sample_table();
         let rt = Table::new(
@@ -981,6 +1061,8 @@ mod tests {
             config: &config,
             tracer: obs::disabled(),
             span: obs::SpanId::NONE,
+            governor: govern::Governor::unrestricted(),
+            budget: None,
         };
         let t = sample_table();
         let schema = Schema::new(vec![
@@ -1029,6 +1111,8 @@ mod tests {
             config: &config,
             tracer: obs::disabled(),
             span: obs::SpanId::NONE,
+            governor: govern::Governor::unrestricted(),
+            budget: None,
         };
         let t = Table::empty(sample_table().schema().clone());
         let schema = Schema::new(vec![Field::new("c", DataType::Int64)]);
@@ -1059,6 +1143,8 @@ mod tests {
             config: &config,
             tracer: obs::disabled(),
             span: obs::SpanId::NONE,
+            governor: govern::Governor::unrestricted(),
+            budget: None,
         };
         let t = Table::new(
             Schema::new(vec![Field::new("b", DataType::Bool)]),
@@ -1108,6 +1194,8 @@ mod tests {
                 config: &config,
                 tracer: obs::disabled(),
                 span: obs::SpanId::NONE,
+                governor: govern::Governor::unrestricted(),
+                budget: None,
             };
             let scan = LogicalPlan::Scan { table: "t".into(), schema: big.schema().clone() };
             let filtered = execute(
@@ -1253,6 +1341,8 @@ mod tests {
             config: &config,
             tracer: obs::disabled(),
             span: obs::SpanId::NONE,
+            governor: govern::Governor::unrestricted(),
+            budget: None,
         };
         let t = Table::new(
             Schema::new(vec![Field::new("v", DataType::Float64)]),

@@ -70,6 +70,17 @@ fn morsels(config: &ExecConfig, rows: usize) -> Vec<std::ops::Range<usize>> {
     taskpool::split_ranges(rows, config.morsel_rows)
 }
 
+/// Governance prologue shared by every morsel closure: the cooperative
+/// cancel/deadline check plus the `exec.morsel` failpoint (a no-op in
+/// release builds). Injected panics unwind here on purpose — the pool's
+/// `try_run_*` entry points catch them and return a typed error.
+#[inline]
+pub(crate) fn morsel_checkpoint(ctx: &ExecContext<'_>) -> Result<()> {
+    ctx.check()?;
+    govern::failpoints::fire("exec.morsel")
+        .map_err(|f| crate::error::Error::Exec(format!("injected fault: {f:?}")))
+}
+
 /// Concatenates per-morsel tables in morsel order, summing busy time.
 fn concat(parts: Vec<Result<(Table, Duration)>>, schema: &Schema) -> Result<(Table, Duration)> {
     let mut busy = Duration::ZERO;
@@ -93,7 +104,8 @@ pub(crate) fn filter(
     ctx: &ExecContext<'_>,
 ) -> Result<(Table, Duration)> {
     let ranges = morsels(ctx.config, t.num_rows());
-    let parts = taskpool::run_ranges(ctx.config.parallelism, &ranges, |range| {
+    let parts = taskpool::try_run_ranges(ctx.config.parallelism, &ranges, |range| {
+        morsel_checkpoint(ctx)?;
         let t0 = morsel_t0(ctx);
         let start = Instant::now();
         let morsel = t.slice(range.clone());
@@ -103,7 +115,7 @@ pub(crate) fn filter(
         let elapsed = start.elapsed();
         note_morsel(ctx, &range, t0, out.num_rows() as u64);
         Ok((out, elapsed))
-    });
+    })?;
     concat(parts, t.schema())
 }
 
@@ -115,7 +127,8 @@ pub(crate) fn project(
     ctx: &ExecContext<'_>,
 ) -> Result<(Table, Duration)> {
     let ranges = morsels(ctx.config, t.num_rows());
-    let parts = taskpool::run_ranges(ctx.config.parallelism, &ranges, |range| {
+    let parts = taskpool::try_run_ranges(ctx.config.parallelism, &ranges, |range| {
+        morsel_checkpoint(ctx)?;
         let t0 = morsel_t0(ctx);
         let start = Instant::now();
         let morsel = t.slice(range.clone());
@@ -128,7 +141,7 @@ pub(crate) fn project(
         let elapsed = start.elapsed();
         note_morsel(ctx, &range, t0, out.num_rows() as u64);
         Ok((out, elapsed))
-    });
+    })?;
     concat(parts, schema)
 }
 
@@ -140,12 +153,13 @@ pub(crate) fn probe<'a, F>(
     n_probe: usize,
     lookup: F,
     ctx: &ExecContext<'_>,
-) -> (Vec<usize>, Vec<usize>, Duration)
+) -> Result<(Vec<usize>, Vec<usize>, Duration)>
 where
     F: Fn(usize) -> Option<&'a Vec<usize>> + Sync,
 {
     let ranges = morsels(ctx.config, n_probe);
-    let parts = taskpool::run_ranges(ctx.config.parallelism, &ranges, |range| {
+    let parts = taskpool::try_run_ranges(ctx.config.parallelism, &ranges, |range| {
+        morsel_checkpoint(ctx)?;
         let t0 = morsel_t0(ctx);
         let start = Instant::now();
         let mut build_rows = Vec::new();
@@ -160,17 +174,18 @@ where
         }
         let elapsed = start.elapsed();
         note_morsel(ctx, &range, t0, probe_rows.len() as u64);
-        (build_rows, probe_rows, elapsed)
-    });
+        Ok::<_, crate::error::Error>((build_rows, probe_rows, elapsed))
+    })?;
     let mut build_rows = Vec::new();
     let mut probe_rows = Vec::new();
     let mut busy = Duration::ZERO;
-    for (b, p, elapsed) in parts {
+    for part in parts {
+        let (b, p, elapsed) = part?;
         build_rows.extend_from_slice(&b);
         probe_rows.extend_from_slice(&p);
         busy += elapsed;
     }
-    (build_rows, probe_rows, busy)
+    Ok((build_rows, probe_rows, busy))
 }
 
 /// Per-morsel partial aggregation state: local groups in first-occurrence
@@ -195,7 +210,8 @@ pub(crate) fn aggregate(
     use crate::hash::{fx_map_with_capacity, FxHashMap};
 
     let ranges = morsels(ctx.config, t.num_rows());
-    let parts = taskpool::run_ranges(ctx.config.parallelism, &ranges, |range| {
+    let parts = taskpool::try_run_ranges(ctx.config.parallelism, &ranges, |range| {
+        morsel_checkpoint(ctx)?;
         let t0 = morsel_t0(ctx);
         let start = Instant::now();
         let morsel = t.slice(range.clone());
@@ -230,10 +246,17 @@ pub(crate) fn aggregate(
         }
         let elapsed = start.elapsed();
         note_morsel(ctx, &range, t0, local.keys.len() as u64);
-        Ok((local, elapsed))
-    });
+        Ok::<_, crate::error::Error>((local, elapsed))
+    })?;
 
     // Merge partials in morsel order.
+    let _group_mem = ctx.reserve(
+        "agg.groups",
+        super::group_state_bytes(
+            parts.iter().map(|p| p.as_ref().map_or(0, |(local, _)| local.keys.len())).sum(),
+            aggs.len(),
+        ),
+    )?;
     let mut busy = Duration::ZERO;
     let mut ids: FxHashMap<Vec<Key>, usize> = FxHashMap::default();
     let mut firsts: Vec<Vec<Value>> = Vec::new();

@@ -131,9 +131,14 @@ pub fn symmetric_hash_join_with_metrics(
     let mut l_idx: Vec<usize> = Vec::new();
     let mut r_idx: Vec<usize> = Vec::new();
 
+    // Both in-memory hash sides together hold every input row by the end.
+    let _build_mem = ctx.reserve("symmetric.build", super::build_bytes(lk.len() + rk.len(), 32))?;
+
     let mut l_pos = 0usize;
     let mut r_pos = 0usize;
     while l_pos < lk.len() || r_pos < rk.len() {
+        // Batch boundaries double as governance checkpoints.
+        ctx.check()?;
         // Left batch: probe right, then insert into left.
         if l_pos < lk.len() {
             metrics.batches += 1;
@@ -207,6 +212,8 @@ mod tests {
             config: &config,
             tracer: obs::disabled(),
             span: obs::SpanId::NONE,
+            governor: govern::Governor::unrestricted(),
+            budget: None,
         };
 
         let lt = make(vec![1, 2, 2, 3, 5]);
@@ -238,6 +245,8 @@ mod tests {
             config: &config,
             tracer: obs::disabled(),
             span: obs::SpanId::NONE,
+            governor: govern::Governor::unrestricted(),
+            budget: None,
         };
 
         let lt = make((0..20).collect());

@@ -62,6 +62,7 @@ pub use column::Column;
 pub use cost::{parallel_discount, CostContext, CostModel, DefaultCostModel, PlanCost};
 pub use db::{Database, DatabaseBuilder, PreparedQuery, QueryResult};
 pub use error::{Error, Result};
+pub use govern::{CancelToken, QueryError};
 pub use profile::{OperatorKind, Profiler};
 pub use table::{Field, Schema, Table};
 pub use udf::{ScalarUdf, UdfRegistry};

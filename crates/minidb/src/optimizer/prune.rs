@@ -486,6 +486,8 @@ mod tests {
             config: &config,
             tracer: obs::disabled(),
             span: obs::SpanId::NONE,
+            governor: govern::Governor::unrestricted(),
+            budget: None,
         };
         let before = execute(&plan, &ctx).unwrap();
         let after = execute(&prune_columns(plan), &ctx).unwrap();

@@ -14,8 +14,10 @@
 //! `1`, which runs every region inline on the calling thread.
 
 use std::cell::Cell;
+use std::fmt;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -28,6 +30,7 @@ static REGIONS: AtomicU64 = AtomicU64::new(0);
 static TASKS: AtomicU64 = AtomicU64::new(0);
 static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
 static PEAK_WORKERS: AtomicU64 = AtomicU64::new(0);
+static CAUGHT_PANICS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     /// Index of the pool worker driving this thread inside a parallel
@@ -53,6 +56,9 @@ pub struct PoolStats {
     pub busy_nanos: u64,
     /// Largest worker count any region ran with.
     pub peak_workers: u64,
+    /// Worker panics caught by the `try_run_*` entry points and turned
+    /// into typed errors.
+    pub caught_panics: u64,
 }
 
 impl PoolStats {
@@ -69,6 +75,7 @@ pub fn stats() -> PoolStats {
         tasks: TASKS.load(Ordering::Relaxed),
         busy_nanos: BUSY_NANOS.load(Ordering::Relaxed),
         peak_workers: PEAK_WORKERS.load(Ordering::Relaxed),
+        caught_panics: CAUGHT_PANICS.load(Ordering::Relaxed),
     }
 }
 
@@ -78,6 +85,7 @@ pub fn reset_stats() {
     TASKS.store(0, Ordering::Relaxed);
     BUSY_NANOS.store(0, Ordering::Relaxed);
     PEAK_WORKERS.store(0, Ordering::Relaxed);
+    CAUGHT_PANICS.store(0, Ordering::Relaxed);
 }
 
 fn note_region(workers: u64, tasks: u64) {
@@ -184,6 +192,131 @@ where
     run_indexed(workers, ranges.len(), |i| f(ranges[i].clone()))
 }
 
+/// A worker panic caught by [`try_run_indexed`], carrying the panic
+/// message. The pool itself stays fully usable afterwards — each region
+/// joins its scoped threads before returning, so nothing is poisoned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicError {
+    /// The panic payload, when it was a string; a placeholder otherwise.
+    pub message: String,
+}
+
+impl fmt::Display for PanicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for PanicError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Panic-safe [`run_indexed`]: a panic in any task is caught, the other
+/// workers stop claiming tasks, the scope joins cleanly, and the first
+/// panic comes back as a typed [`PanicError`] instead of unwinding
+/// through (or hanging) the caller.
+pub fn try_run_indexed<T, F>(workers: usize, tasks: usize, f: F) -> Result<Vec<T>, PanicError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || tasks <= 1 {
+        note_region(1, tasks as u64);
+        let start = Instant::now();
+        let mut out = Vec::with_capacity(tasks);
+        for i in 0..tasks {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    CAUGHT_PANICS.fetch_add(1, Ordering::Relaxed);
+                    BUSY_NANOS.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    return Err(PanicError { message: panic_message(payload) });
+                }
+            }
+        }
+        BUSY_NANOS.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        return Ok(out);
+    }
+    let threads = workers.min(tasks);
+    note_region(threads as u64, tasks as u64);
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let first_panic: Mutex<Option<String>> = Mutex::new(None);
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let work = || {
+        let mut busy = 0u64;
+        loop {
+            if failed.load(Ordering::Acquire) {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            let start = Instant::now();
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(value) => {
+                    busy += start.elapsed().as_nanos() as u64;
+                    *slots[i].lock().expect("result slot poisoned") = Some(value);
+                }
+                Err(payload) => {
+                    busy += start.elapsed().as_nanos() as u64;
+                    let mut first = first_panic.lock().expect("panic slot poisoned");
+                    if first.is_none() {
+                        *first = Some(panic_message(payload));
+                    }
+                    failed.store(true, Ordering::Release);
+                    break;
+                }
+            }
+        }
+        BUSY_NANOS.fetch_add(busy, Ordering::Relaxed);
+    };
+    std::thread::scope(|scope| {
+        let work = &work;
+        for w in 1..threads {
+            scope.spawn(move || {
+                WORKER_ID.with(|id| id.set(w as u32));
+                work();
+            });
+        }
+        work();
+    });
+    if let Some(message) = first_panic.into_inner().expect("panic slot poisoned") {
+        CAUGHT_PANICS.fetch_add(1, Ordering::Relaxed);
+        return Err(PanicError { message });
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task index was claimed and completed")
+        })
+        .collect())
+}
+
+/// Panic-safe [`run_ranges`]; see [`try_run_indexed`].
+pub fn try_run_ranges<T, F>(
+    workers: usize,
+    ranges: &[Range<usize>],
+    f: F,
+) -> Result<Vec<T>, PanicError>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    try_run_indexed(workers, ranges.len(), |i| f(ranges[i].clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +366,33 @@ mod tests {
         assert!(ids.iter().all(|&w| (w as usize) < 4));
         // The calling thread keeps worker id 0 outside regions.
         assert_eq!(current_worker(), 0);
+    }
+
+    #[test]
+    fn try_run_catches_panics_and_pool_stays_usable() {
+        for workers in [1, 2, 8] {
+            let before = stats().caught_panics;
+            let err = try_run_indexed(workers, 64, |i| {
+                if i == 17 {
+                    panic!("injected morsel failure");
+                }
+                i * 2
+            })
+            .unwrap_err();
+            assert!(err.message.contains("injected morsel failure"), "{err}");
+            assert_eq!(stats().caught_panics, before + 1);
+            // The pool is immediately reusable after a caught panic.
+            let ok = try_run_indexed(workers, 16, |i| i + 1).unwrap();
+            assert_eq!(ok, (1..=16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_run_ranges_matches_sequential_on_success() {
+        let ranges = split_ranges(500, 32);
+        let serial: Vec<usize> = ranges.iter().map(|r| r.clone().sum()).collect();
+        let parallel = try_run_ranges(4, &ranges, |r| r.sum::<usize>()).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -14,14 +14,19 @@
 #     non-zero if the disabled-collector path drifts more than 3% between
 #     interleaved passes (zero-cost-when-off guard); records the
 #     enabled-collector overhead. Emits BENCH_obs.json.
+#   govern_overhead — governance overhead on the same workload. Exits
+#     non-zero if the governance-off path drifts more than 3% between
+#     interleaved passes (zero-cost-when-off guard); records the
+#     deadline+budget-armed overhead. Emits BENCH_govern.json.
 #
-# Usage: scripts/bench_json.sh [cache_output.json] [fused_output.json] [obs_output.json]
+# Usage: scripts/bench_json.sh [cache_output.json] [fused_output.json] [obs_output.json] [govern_output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CACHE_OUT="${1:-${BENCH_JSON_OUT:-BENCH_cache.json}}"
 FUSED_OUT="${2:-BENCH_fused.json}"
 OBS_OUT="${3:-BENCH_obs.json}"
+GOVERN_OUT="${4:-BENCH_govern.json}"
 
 BENCH_JSON_OUT="$CACHE_OUT" cargo run --release -q -p bench --bin bench_cache
 echo "--- $CACHE_OUT ---"
@@ -34,3 +39,7 @@ cat "$FUSED_OUT"
 BENCH_JSON_OUT="$OBS_OUT" cargo run --release -q -p bench --bin obs_overhead
 echo "--- $OBS_OUT ---"
 cat "$OBS_OUT"
+
+BENCH_JSON_OUT="$GOVERN_OUT" cargo run --release -q -p bench --bin govern_overhead
+echo "--- $GOVERN_OUT ---"
+cat "$GOVERN_OUT"
